@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation of the Markov order / history length (Section 4.2 claim:
+ * accuracy saturates with history; N <= 10 suffices).
+ *
+ * For each branch benchmark, trains the worst branch's FSM at history
+ * lengths 1-12 and reports state count and miss rate on the test input.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bpred/trainer.hh"
+#include "fsmgen/predictor_fsm.hh"
+#include "workloads/branch_workloads.hh"
+
+using namespace autofsm;
+
+namespace
+{
+
+double
+fsmMissRate(const Dfa &fsm, uint64_t pc, const BranchTrace &trace)
+{
+    PredictorFsm machine(fsm);
+    uint64_t executions = 0, misses = 0;
+    for (const auto &record : trace) {
+        if (record.pc == pc) {
+            ++executions;
+            misses += (machine.predict() != 0) != record.taken;
+        }
+        machine.update(record.taken ? 1 : 0);
+    }
+    return executions == 0
+        ? 0.0
+        : static_cast<double>(misses) / static_cast<double>(executions);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t branches = 200000;
+    if (argc > 1)
+        branches = static_cast<size_t>(atol(argv[1]));
+
+    std::cout << "Ablation: history length vs accuracy "
+                 "(Section 4.2: no need past N = 10)\n\n";
+    std::cout << std::setw(10) << "bench" << std::setw(8) << "N"
+              << std::setw(10) << "states" << std::setw(12) << "miss"
+              << "\n";
+
+    for (const std::string &name : branchBenchmarkNames()) {
+        const BranchTrace train =
+            makeBranchTrace(name, WorkloadInput::Train, branches);
+        const BranchTrace test =
+            makeBranchTrace(name, WorkloadInput::Test, branches);
+
+        for (int order = 1; order <= 12; ++order) {
+            CustomTrainingOptions options;
+            options.maxCustomBranches = 1;
+            options.historyLength = order;
+            const auto trained = trainCustomPredictors(train, options);
+            if (trained.empty())
+                continue;
+            const auto &branch = trained.front();
+            const double miss =
+                fsmMissRate(branch.design.fsm, branch.pc, test);
+            std::cout << std::setw(10) << name << std::setw(8) << order
+                      << std::setw(10) << branch.design.statesFinal
+                      << std::setw(11) << std::fixed
+                      << std::setprecision(2) << miss * 100.0 << "%\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

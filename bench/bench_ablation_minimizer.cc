@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation of the logic-minimization engine: exact Quine-McCluskey vs
+ * the Espresso-style heuristic, on workload-derived and random pattern
+ * sets. Reports cover size, literal count and runtime - the design
+ * choice behind MinimizeAlgo::Auto's 8-variable cutoff.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "logicmin/espresso.hh"
+#include "logicmin/quine_mccluskey.hh"
+#include "support/rng.hh"
+
+using namespace autofsm;
+
+namespace
+{
+
+TruthTable
+randomTable(int num_vars, double on_frac, double dc_frac, uint64_t seed)
+{
+    Rng rng(seed);
+    TruthTable table(num_vars);
+    for (uint32_t m = 0; m < (1u << num_vars); ++m) {
+        const double roll = rng.uniform();
+        if (roll < on_frac)
+            table.addOn(m);
+        else if (roll < on_frac + dc_frac)
+            table.addDontCare(m);
+    }
+    if (table.onSet().empty())
+        table.addOn(0);
+    return table;
+}
+
+TruthTable
+biasedTable(int num_vars, uint64_t seed)
+{
+    // Workload-shaped function: strongly biased by the recent history
+    // bits, as branch pattern sets are.
+    Rng rng(seed);
+    TruthTable table(num_vars);
+    for (uint32_t m = 0; m < (1u << num_vars); ++m) {
+        const bool likely = (m & 0b11) == 0b11 || (m & 0b101) == 0b101;
+        const double roll = rng.uniform();
+        if (roll < (likely ? 0.9 : 0.05))
+            table.addOn(m);
+        else if (roll < (likely ? 0.95 : 0.15))
+            table.addDontCare(m);
+    }
+    if (table.onSet().empty())
+        table.addOn(0);
+    return table;
+}
+
+void
+compareOnce(const std::string &label, const TruthTable &table)
+{
+    const Cover exact = minimizeQuineMcCluskey(table);
+    const Cover heur = minimizeEspresso(table);
+    std::cout << std::setw(22) << label << std::setw(7) << table.numVars()
+              << std::setw(9) << table.onSet().size() << std::setw(9)
+              << exact.size() << std::setw(9) << exact.literalCount()
+              << std::setw(9) << heur.size() << std::setw(9)
+              << heur.literalCount() << "\n";
+}
+
+void
+BM_QuineMcCluskey(benchmark::State &state)
+{
+    const TruthTable table =
+        randomTable(static_cast<int>(state.range(0)), 0.3, 0.1, 42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(minimizeQuineMcCluskey(table));
+}
+BENCHMARK(BM_QuineMcCluskey)->DenseRange(4, 10, 2);
+
+void
+BM_Espresso(benchmark::State &state)
+{
+    const TruthTable table =
+        randomTable(static_cast<int>(state.range(0)), 0.3, 0.1, 42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(minimizeEspresso(table));
+}
+BENCHMARK(BM_Espresso)->DenseRange(4, 10, 2);
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "Ablation: exact QM vs Espresso-heuristic minimization\n\n";
+    std::cout << std::setw(22) << "function" << std::setw(7) << "vars"
+              << std::setw(9) << "|ON|" << std::setw(9) << "qm-cub"
+              << std::setw(9) << "qm-lit" << std::setw(9) << "es-cub"
+              << std::setw(9) << "es-lit" << "\n";
+    for (int vars : {4, 6, 8, 10}) {
+        compareOnce("random", randomTable(vars, 0.3, 0.1,
+                                          static_cast<uint64_t>(vars)));
+        compareOnce("workload-biased",
+                    biasedTable(vars, static_cast<uint64_t>(vars) + 77));
+    }
+    std::cout << "\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

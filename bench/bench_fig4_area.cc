@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerates Figure 4: estimated implementation area versus number of
+ * states for the custom FSM predictors generated across all branch
+ * benchmarks, with the linear trend fit the paper reuses for its later
+ * area numbers.
+ *
+ * Usage: bench_fig4_area [branches_per_run]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/figure4.hh"
+#include "sim/report.hh"
+
+using namespace autofsm;
+
+int
+main(int argc, char **argv)
+{
+    Fig4Options options;
+    if (argc > 1)
+        options.branchesPerRun = static_cast<size_t>(atol(argv[1]));
+
+    std::cout << "Reproduction of Figure 4 (Sherwood & Calder, ISCA'01)\n"
+              << "training " << options.fsmsPerBenchmark
+              << " FSMs per benchmark, history length "
+              << options.historyLength << "\n\n";
+
+    const Fig4Result result = runFigure4(options);
+    printFig4(std::cout, result);
+    return 0;
+}

@@ -1,0 +1,366 @@
+#include "automata/dfa.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace autofsm
+{
+
+int
+Dfa::addState(int output)
+{
+    assert(output == 0 || output == 1);
+    State s;
+    s.output = output;
+    states_.push_back(s);
+    return static_cast<int>(states_.size()) - 1;
+}
+
+void
+Dfa::setEdge(int from, int symbol, int to)
+{
+    assert(symbol == 0 || symbol == 1);
+    assert(from >= 0 && from < numStates());
+    assert(to >= 0 && to < numStates());
+    states_[static_cast<size_t>(from)].next[static_cast<size_t>(symbol)] = to;
+}
+
+void
+Dfa::setOutput(int state, int output)
+{
+    assert(output == 0 || output == 1);
+    states_[static_cast<size_t>(state)].output = output;
+}
+
+int
+Dfa::next(int state, int symbol) const
+{
+    assert(symbol == 0 || symbol == 1);
+    return states_[static_cast<size_t>(state)].next[static_cast<size_t>(symbol)];
+}
+
+int
+Dfa::output(int state) const
+{
+    return states_[static_cast<size_t>(state)].output;
+}
+
+int
+Dfa::run(const std::vector<int> &input) const
+{
+    int state = start_;
+    for (int symbol : input)
+        state = next(state, symbol);
+    return state;
+}
+
+int
+Dfa::predictAfter(const std::vector<int> &input) const
+{
+    return output(run(input));
+}
+
+bool
+Dfa::equivalent(const Dfa &other) const
+{
+    // BFS over the product machine: every reachable pair must agree on
+    // output.
+    std::set<std::pair<int, int>> seen;
+    std::deque<std::pair<int, int>> queue;
+    queue.emplace_back(start_, other.start_);
+    seen.insert({start_, other.start_});
+    while (!queue.empty()) {
+        const auto [a, b] = queue.front();
+        queue.pop_front();
+        if (output(a) != other.output(b))
+            return false;
+        for (int symbol = 0; symbol < 2; ++symbol) {
+            const std::pair<int, int> succ{next(a, symbol),
+                                           other.next(b, symbol)};
+            if (seen.insert(succ).second)
+                queue.push_back(succ);
+        }
+    }
+    return true;
+}
+
+Dfa
+Dfa::trimUnreachable() const
+{
+    std::vector<int> remap(states_.size(), -1);
+    std::vector<int> order;
+    std::deque<int> queue;
+    queue.push_back(start_);
+    remap[static_cast<size_t>(start_)] = 0;
+    order.push_back(start_);
+    while (!queue.empty()) {
+        const int s = queue.front();
+        queue.pop_front();
+        for (int symbol = 0; symbol < 2; ++symbol) {
+            const int t = next(s, symbol);
+            if (remap[static_cast<size_t>(t)] < 0) {
+                remap[static_cast<size_t>(t)] =
+                    static_cast<int>(order.size());
+                order.push_back(t);
+                queue.push_back(t);
+            }
+        }
+    }
+
+    Dfa out;
+    for (int old : order)
+        out.addState(output(old));
+    for (size_t i = 0; i < order.size(); ++i) {
+        for (int symbol = 0; symbol < 2; ++symbol) {
+            out.setEdge(static_cast<int>(i), symbol,
+                        remap[static_cast<size_t>(next(order[i], symbol))]);
+        }
+    }
+    out.setStart(0);
+    return out;
+}
+
+Dfa
+Dfa::minimizeHopcroft() const
+{
+    const Dfa trimmed = trimUnreachable();
+    const int n = trimmed.numStates();
+
+    // Inverse transition function.
+    std::vector<std::vector<int>> preds[2];
+    preds[0].assign(static_cast<size_t>(n), {});
+    preds[1].assign(static_cast<size_t>(n), {});
+    for (int s = 0; s < n; ++s) {
+        for (int symbol = 0; symbol < 2; ++symbol) {
+            preds[symbol][static_cast<size_t>(trimmed.next(s, symbol))]
+                .push_back(s);
+        }
+    }
+
+    // Initial partition: by Moore output.
+    std::vector<int> block_of(static_cast<size_t>(n), 0);
+    std::vector<std::vector<int>> blocks;
+    {
+        std::vector<int> zeros, ones;
+        for (int s = 0; s < n; ++s)
+            (trimmed.output(s) ? ones : zeros).push_back(s);
+        if (!zeros.empty()) {
+            for (int s : zeros)
+                block_of[static_cast<size_t>(s)] =
+                    static_cast<int>(blocks.size());
+            blocks.push_back(std::move(zeros));
+        }
+        if (!ones.empty()) {
+            for (int s : ones)
+                block_of[static_cast<size_t>(s)] =
+                    static_cast<int>(blocks.size());
+            blocks.push_back(std::move(ones));
+        }
+    }
+
+    // Hopcroft worklist of (block, symbol) splitters.
+    std::deque<std::pair<int, int>> worklist;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        worklist.emplace_back(static_cast<int>(b), 0);
+        worklist.emplace_back(static_cast<int>(b), 1);
+    }
+
+    while (!worklist.empty()) {
+        const auto [splitter, symbol] = worklist.front();
+        worklist.pop_front();
+
+        // States with a `symbol`-edge into the splitter block.
+        std::vector<int> incoming;
+        for (int t : blocks[static_cast<size_t>(splitter)]) {
+            const auto &ps = preds[symbol][static_cast<size_t>(t)];
+            incoming.insert(incoming.end(), ps.begin(), ps.end());
+        }
+        if (incoming.empty())
+            continue;
+
+        // Group incoming states by their current block.
+        std::map<int, std::vector<int>> touched;
+        for (int s : incoming)
+            touched[block_of[static_cast<size_t>(s)]].push_back(s);
+
+        for (auto &[block_idx, members] : touched) {
+            auto &block = blocks[static_cast<size_t>(block_idx)];
+            if (members.size() == block.size())
+                continue; // no split: all of the block was touched
+
+            // Split `block` into touched (members) and untouched parts.
+            std::sort(members.begin(), members.end());
+            std::vector<int> untouched;
+            untouched.reserve(block.size() - members.size());
+            for (int s : block) {
+                if (!std::binary_search(members.begin(), members.end(), s))
+                    untouched.push_back(s);
+            }
+
+            const int new_idx = static_cast<int>(blocks.size());
+            // Keep the smaller part as the new block (Hopcroft's trick).
+            std::vector<int> *small = &members, *large = &untouched;
+            if (small->size() > large->size())
+                std::swap(small, large);
+            block = *large;
+            for (int s : *small)
+                block_of[static_cast<size_t>(s)] = new_idx;
+            blocks.push_back(*small);
+
+            worklist.emplace_back(new_idx, 0);
+            worklist.emplace_back(new_idx, 1);
+        }
+    }
+
+    // Build the quotient machine.
+    Dfa out;
+    for (const auto &block : blocks)
+        out.addState(trimmed.output(block.front()));
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        const int repr = blocks[b].front();
+        for (int symbol = 0; symbol < 2; ++symbol) {
+            out.setEdge(static_cast<int>(b), symbol,
+                        block_of[static_cast<size_t>(
+                            trimmed.next(repr, symbol))]);
+        }
+    }
+    out.setStart(block_of[static_cast<size_t>(trimmed.start())]);
+    return out.trimUnreachable();
+}
+
+Dfa
+Dfa::steadyStateReduce() const
+{
+    const int n = numStates();
+    // Eventual-image fixpoint: S_{k+1} = delta(S_k, {0,1}). Because
+    // S_1 = delta(Q) is a subset of S_0 = Q, the chain is monotonically
+    // decreasing and must converge within n iterations.
+    std::vector<bool> core(static_cast<size_t>(n), true);
+    for (;;) {
+        std::vector<bool> image(static_cast<size_t>(n), false);
+        for (int s = 0; s < n; ++s) {
+            if (!core[static_cast<size_t>(s)])
+                continue;
+            image[static_cast<size_t>(next(s, 0))] = true;
+            image[static_cast<size_t>(next(s, 1))] = true;
+        }
+        if (image == core)
+            break;
+        core = std::move(image);
+    }
+
+    // Re-root: walk 0-inputs from the old start until inside the core.
+    // Termination: iterating any input sequence eventually enters the
+    // eventual image.
+    int new_start = start_;
+    for (int step = 0; step <= n && !core[static_cast<size_t>(new_start)];
+         ++step) {
+        new_start = next(new_start, 0);
+    }
+    assert(core[static_cast<size_t>(new_start)]);
+
+    Dfa out = *this;
+    out.setStart(new_start);
+    return out.trimUnreachable();
+}
+
+std::string
+Dfa::toDot(const std::string &name) const
+{
+    std::ostringstream out;
+    out << "digraph " << name << " {\n";
+    out << "    rankdir=LR;\n";
+    out << "    init [shape=point];\n";
+    for (int s = 0; s < numStates(); ++s) {
+        out << "    s" << s << " [shape=circle, label=\"s" << s
+            << "\\n[" << output(s) << "]\"];\n";
+    }
+    out << "    init -> s" << start_ << ";\n";
+    for (int s = 0; s < numStates(); ++s) {
+        for (int symbol = 0; symbol < 2; ++symbol) {
+            out << "    s" << s << " -> s" << next(s, symbol)
+                << " [label=\"" << symbol << "\"];\n";
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+Dfa
+Dfa::fromNfa(const Nfa &nfa)
+{
+    Dfa dfa;
+    std::map<std::vector<int>, int> subset_ids;
+    std::deque<std::vector<int>> queue;
+
+    auto accepting = [&nfa](const std::vector<int> &subset) {
+        for (int s : subset) {
+            if (nfa.accepting(s))
+                return true;
+        }
+        return false;
+    };
+
+    const std::vector<int> start_subset = nfa.closure({nfa.start()});
+    subset_ids[start_subset] = dfa.addState(accepting(start_subset) ? 1 : 0);
+    queue.push_back(start_subset);
+
+    // A sink for subsets that die (cannot happen with the (0|1)* prefix
+    // regexes, but hand-built NFAs may be partial).
+    int sink = -1;
+
+    while (!queue.empty()) {
+        const std::vector<int> subset = queue.front();
+        queue.pop_front();
+        const int from = subset_ids.at(subset);
+
+        for (int symbol = 0; symbol < 2; ++symbol) {
+            std::vector<int> moved;
+            for (int s : subset) {
+                const auto &succ = nfa.state(s).next[symbol];
+                moved.insert(moved.end(), succ.begin(), succ.end());
+            }
+            const std::vector<int> target = nfa.closure(std::move(moved));
+
+            int to;
+            if (target.empty()) {
+                if (sink < 0) {
+                    sink = dfa.addState(0);
+                    dfa.setEdge(sink, 0, sink);
+                    dfa.setEdge(sink, 1, sink);
+                }
+                to = sink;
+            } else {
+                const auto it = subset_ids.find(target);
+                if (it == subset_ids.end()) {
+                    to = dfa.addState(accepting(target) ? 1 : 0);
+                    subset_ids.emplace(target, to);
+                    queue.push_back(target);
+                } else {
+                    to = it->second;
+                }
+            }
+            dfa.setEdge(from, symbol, to);
+        }
+    }
+
+    dfa.setStart(0);
+    return dfa;
+}
+
+Dfa
+Dfa::constant(int output)
+{
+    Dfa dfa;
+    const int s = dfa.addState(output);
+    dfa.setEdge(s, 0, s);
+    dfa.setEdge(s, 1, s);
+    dfa.setStart(s);
+    return dfa;
+}
+
+} // namespace autofsm

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic finite automata over {0,1} with one output bit per state.
+ *
+ * This is the Moore-machine form the paper's predictors take: the state's
+ * output is the prediction of the next input bit. Provides subset
+ * construction (Section 4.6), Hopcroft minimization, the paper's
+ * start-state reduction (Section 4.7), reachability trimming, equivalence
+ * checking and Graphviz output.
+ */
+
+#ifndef AUTOFSM_AUTOMATA_DFA_HH
+#define AUTOFSM_AUTOMATA_DFA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.hh"
+
+namespace autofsm
+{
+
+/** A complete DFA / 1-bit-output Moore machine. */
+class Dfa
+{
+  public:
+    struct State
+    {
+        /** Successor on input 0 and 1. */
+        std::array<int, 2> next = {0, 0};
+        /** Moore output: the prediction made while in this state. */
+        int output = 0;
+    };
+
+    /** Add a state with @p output; returns its index. */
+    int addState(int output);
+
+    void setStart(int state) { start_ = state; }
+    void setEdge(int from, int symbol, int to);
+    void setOutput(int state, int output);
+
+    int start() const { return start_; }
+    int numStates() const { return static_cast<int>(states_.size()); }
+    int next(int state, int symbol) const;
+    int output(int state) const;
+
+    /** Run from the start state over @p input; returns the final state. */
+    int run(const std::vector<int> &input) const;
+
+    /** Output of the state reached by @p input (the prediction). */
+    int predictAfter(const std::vector<int> &input) const;
+
+    /** Exhaustive output-equivalence against @p other (product BFS). */
+    bool equivalent(const Dfa &other) const;
+
+    /**
+     * Drop states unreachable from the start state, renumbering the
+     * survivors (stable order).
+     */
+    Dfa trimUnreachable() const;
+
+    /**
+     * Hopcroft's partition-refinement minimization. The input must be a
+     * complete DFA; the result is the unique minimal machine with the
+     * same output behavior from the start state.
+     */
+    Dfa minimizeHopcroft() const;
+
+    /**
+     * The paper's start-state reduction (Section 4.7): remove the
+     * transient start-up states that can only be visited before N inputs
+     * have been seen. Computed as the *eventual image* fixpoint
+     * S_0 = Q, S_{k+1} = delta(S_k, {0,1}); the chain is monotonically
+     * decreasing and its limit is the steady-state core. The start state
+     * is re-rooted onto the core by walking inputs of 0 until the core is
+     * entered (any in-core state is behaviorally valid past warm-up).
+     */
+    Dfa steadyStateReduce() const;
+
+    /** Graphviz DOT rendering; states labelled "sN [output]". */
+    std::string toDot(const std::string &name = "fsm") const;
+
+    /** Subset construction over @p nfa; accepting subsets output 1. */
+    static Dfa fromNfa(const Nfa &nfa);
+
+    /**
+     * The trivial one-state machine with constant @p output, used when a
+     * pattern set is empty (always predict 0 or always predict 1).
+     */
+    static Dfa constant(int output);
+
+  private:
+    std::vector<State> states_;
+    int start_ = 0;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_AUTOMATA_DFA_HH

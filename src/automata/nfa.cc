@@ -1,0 +1,165 @@
+#include "automata/nfa.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autofsm
+{
+
+int
+Nfa::addState()
+{
+    states_.emplace_back();
+    accepting_.push_back(false);
+    return static_cast<int>(states_.size()) - 1;
+}
+
+void
+Nfa::addEpsilon(int from, int to)
+{
+    states_[static_cast<size_t>(from)].eps.push_back(to);
+}
+
+void
+Nfa::addEdge(int from, int symbol, int to)
+{
+    assert(symbol == 0 || symbol == 1);
+    states_[static_cast<size_t>(from)].next[symbol].push_back(to);
+}
+
+void
+Nfa::markAccepting(int state)
+{
+    accepting_[static_cast<size_t>(state)] = true;
+}
+
+std::vector<int>
+Nfa::closure(std::vector<int> set) const
+{
+    std::vector<bool> in_set(states_.size(), false);
+    std::vector<int> stack;
+    for (int s : set) {
+        if (!in_set[static_cast<size_t>(s)]) {
+            in_set[static_cast<size_t>(s)] = true;
+            stack.push_back(s);
+        }
+    }
+    std::vector<int> out;
+    while (!stack.empty()) {
+        const int s = stack.back();
+        stack.pop_back();
+        out.push_back(s);
+        for (int t : states_[static_cast<size_t>(s)].eps) {
+            if (!in_set[static_cast<size_t>(t)]) {
+                in_set[static_cast<size_t>(t)] = true;
+                stack.push_back(t);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+Nfa::accepts(const std::vector<int> &input) const
+{
+    std::vector<int> current = closure({start_});
+    for (int symbol : input) {
+        std::vector<int> next;
+        for (int s : current) {
+            const auto &succ = states_[static_cast<size_t>(s)]
+                .next[symbol];
+            next.insert(next.end(), succ.begin(), succ.end());
+        }
+        current = closure(std::move(next));
+        if (current.empty())
+            return false;
+    }
+    for (int s : current) {
+        if (accepting_[static_cast<size_t>(s)])
+            return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+/** A Thompson fragment: entry and exit states. */
+struct Fragment
+{
+    int entry;
+    int exit;
+};
+
+Fragment
+build(Nfa &nfa, const std::vector<RegexNode> &nodes, int idx)
+{
+    const RegexNode &node = nodes[static_cast<size_t>(idx)];
+    switch (node.kind) {
+      case RegexKind::Epsilon: {
+        const int a = nfa.addState();
+        const int b = nfa.addState();
+        nfa.addEpsilon(a, b);
+        return {a, b};
+      }
+      case RegexKind::Zero:
+      case RegexKind::One: {
+        const int a = nfa.addState();
+        const int b = nfa.addState();
+        nfa.addEdge(a, node.kind == RegexKind::One ? 1 : 0, b);
+        return {a, b};
+      }
+      case RegexKind::AnySym: {
+        const int a = nfa.addState();
+        const int b = nfa.addState();
+        nfa.addEdge(a, 0, b);
+        nfa.addEdge(a, 1, b);
+        return {a, b};
+      }
+      case RegexKind::Concat: {
+        const Fragment lhs = build(nfa, nodes, node.lhs);
+        const Fragment rhs = build(nfa, nodes, node.rhs);
+        nfa.addEpsilon(lhs.exit, rhs.entry);
+        return {lhs.entry, rhs.exit};
+      }
+      case RegexKind::Alt: {
+        const Fragment lhs = build(nfa, nodes, node.lhs);
+        const Fragment rhs = build(nfa, nodes, node.rhs);
+        const int entry = nfa.addState();
+        const int exit = nfa.addState();
+        nfa.addEpsilon(entry, lhs.entry);
+        nfa.addEpsilon(entry, rhs.entry);
+        nfa.addEpsilon(lhs.exit, exit);
+        nfa.addEpsilon(rhs.exit, exit);
+        return {entry, exit};
+      }
+      case RegexKind::Star: {
+        const Fragment inner = build(nfa, nodes, node.lhs);
+        const int entry = nfa.addState();
+        const int exit = nfa.addState();
+        nfa.addEpsilon(entry, inner.entry);
+        nfa.addEpsilon(entry, exit);
+        nfa.addEpsilon(inner.exit, inner.entry);
+        nfa.addEpsilon(inner.exit, exit);
+        return {entry, exit};
+      }
+    }
+    assert(false && "unreachable");
+    return {0, 0};
+}
+
+} // anonymous namespace
+
+Nfa
+Nfa::fromRegex(const Regex &regex)
+{
+    assert(!regex.empty());
+    Nfa nfa;
+    const Fragment frag = build(nfa, regex.nodes(), regex.root());
+    nfa.setStart(frag.entry);
+    nfa.markAccepting(frag.exit);
+    return nfa;
+}
+
+} // namespace autofsm

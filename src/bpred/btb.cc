@@ -1,0 +1,82 @@
+#include "bpred/btb.hh"
+
+#include <cassert>
+
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+XScaleBtb::XScaleBtb(const BtbConfig &config, const AreaCosts &costs)
+    : config_(config), costs_(costs),
+      entries_(static_cast<size_t>(config.entries))
+{
+    assert(config.entries > 0 &&
+           (config.entries & (config.entries - 1)) == 0);
+}
+
+size_t
+XScaleBtb::indexOf(uint64_t pc) const
+{
+    // Branches are 4-byte aligned in the synthetic traces.
+    return static_cast<size_t>((pc >> 2) &
+                               static_cast<uint64_t>(config_.entries - 1));
+}
+
+uint64_t
+XScaleBtb::tagOf(uint64_t pc) const
+{
+    const int index_bits = ceilLog2(static_cast<uint32_t>(config_.entries));
+    return (pc >> (2 + index_bits)) & lowMask(config_.tagBits);
+}
+
+bool
+XScaleBtb::hit(uint64_t pc) const
+{
+    const Entry &entry = entries_[indexOf(pc)];
+    return entry.valid && entry.tag == tagOf(pc);
+}
+
+bool
+XScaleBtb::predict(uint64_t pc) const
+{
+    const Entry &entry = entries_[indexOf(pc)];
+    if (!entry.valid || entry.tag != tagOf(pc))
+        return false; // BTB miss: predict not-taken
+    return entry.counter.predict();
+}
+
+void
+XScaleBtb::update(uint64_t pc, bool taken)
+{
+    Entry &entry = entries_[indexOf(pc)];
+    if (entry.valid && entry.tag == tagOf(pc)) {
+        entry.counter.update(taken);
+        return;
+    }
+    // Allocate on first contact (or conflict): bias towards the
+    // observed direction, starting from the weak state.
+    entry.valid = true;
+    entry.tag = tagOf(pc);
+    entry.counter = SudCounter(SudConfig::twoBit(), taken ? 2 : 1);
+}
+
+double
+XScaleBtb::entryBits() const
+{
+    return static_cast<double>(config_.tagBits + config_.targetBits + 2);
+}
+
+double
+XScaleBtb::area() const
+{
+    return tableArea(entryBits() * config_.entries, costs_);
+}
+
+std::string
+XScaleBtb::name() const
+{
+    return "xscale-btb" + std::to_string(config_.entries);
+}
+
+} // namespace autofsm

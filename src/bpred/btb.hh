@@ -1,0 +1,69 @@
+/**
+ * @file
+ * XScale-style coupled branch target buffer (Section 7.2).
+ *
+ * Intel's XScale has a 128-entry BTB; each entry carries a 2-bit
+ * saturating counter used for conditional branch prediction, and a BTB
+ * miss predicts not-taken. This is the baseline the customized
+ * architecture extends.
+ */
+
+#ifndef AUTOFSM_BPRED_BTB_HH
+#define AUTOFSM_BPRED_BTB_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "support/sud_counter.hh"
+#include "synth/area.hh"
+
+namespace autofsm
+{
+
+/** Geometry of the coupled BTB. */
+struct BtbConfig
+{
+    int entries = 128;  ///< direct-mapped entry count (power of two)
+    int tagBits = 23;   ///< tag width stored per entry
+    int targetBits = 32; ///< branch target width stored per entry
+};
+
+/** Direct-mapped BTB with a 2-bit counter per entry. */
+class XScaleBtb : public BranchPredictor
+{
+  public:
+    explicit XScaleBtb(const BtbConfig &config = {},
+                       const AreaCosts &costs = {});
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    double area() const override;
+    std::string name() const override;
+
+    /** True iff @p pc currently hits in the BTB. */
+    bool hit(uint64_t pc) const;
+
+    const BtbConfig &config() const { return config_; }
+
+    /** Storage bits of one entry (tag + target + counter). */
+    double entryBits() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        SudCounter counter{SudConfig::twoBit(), 1};
+    };
+
+    size_t indexOf(uint64_t pc) const;
+    uint64_t tagOf(uint64_t pc) const;
+
+    BtbConfig config_;
+    AreaCosts costs_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_BTB_HH

@@ -1,0 +1,69 @@
+#include "bpred/custom.hh"
+
+namespace autofsm
+{
+
+CustomBranchPredictor::CustomBranchPredictor(
+    const BtbConfig &btb, const CustomEntryConfig &entry_config,
+    const LineFit &area_line, const AreaCosts &costs)
+    : btb_(btb, costs), entryConfig_(entry_config), areaLine_(area_line),
+      costs_(costs)
+{}
+
+void
+CustomBranchPredictor::addCustomEntry(uint64_t pc, const Dfa &fsm)
+{
+    entries_.push_back(
+        {pc, PredictorFsm(fsm),
+         areaLine_.at(static_cast<double>(fsm.numStates()))});
+}
+
+bool
+CustomBranchPredictor::isCustom(uint64_t pc) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.pc == pc)
+            return true;
+    }
+    return false;
+}
+
+bool
+CustomBranchPredictor::predict(uint64_t pc) const
+{
+    // Fully-associative custom lookup wins over the BTB.
+    for (const auto &entry : entries_) {
+        if (entry.pc == pc)
+            return entry.fsm.predict() != 0;
+    }
+    return btb_.predict(pc);
+}
+
+void
+CustomBranchPredictor::update(uint64_t pc, bool taken)
+{
+    // The baseline BTB trains normally on its own branch...
+    btb_.update(pc, taken);
+    // ...while every custom FSM steps on every dynamic branch.
+    for (auto &entry : entries_)
+        entry.fsm.update(taken ? 1 : 0);
+}
+
+double
+CustomBranchPredictor::area() const
+{
+    double total = btb_.area();
+    for (const auto &entry : entries_) {
+        total += entryConfig_.tagBits * costs_.camBit +
+            entryConfig_.targetBits * costs_.sramBit + entry.fsmArea;
+    }
+    return total;
+}
+
+std::string
+CustomBranchPredictor::name() const
+{
+    return "custom-" + std::to_string(entries_.size()) + "fsm";
+}
+
+} // namespace autofsm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The paper's customized branch prediction architecture (Figure 3):
+ * an XScale-style coupled BTB extended with fully-associative custom
+ * entries, each holding a tag, a target, and a hard-wired FSM predictor
+ * generated for one specific branch. All custom FSMs are updated in
+ * parallel on *every* dynamic branch (Section 7.3), so each machine is
+ * guaranteed to sit in the right state whenever its branch is fetched
+ * (Section 7.6).
+ */
+
+#ifndef AUTOFSM_BPRED_CUSTOM_HH
+#define AUTOFSM_BPRED_CUSTOM_HH
+
+#include <vector>
+
+#include "bpred/btb.hh"
+#include "fsmgen/predictor_fsm.hh"
+#include "support/stats.hh"
+
+namespace autofsm
+{
+
+/** Per-custom-entry storage parameters. */
+struct CustomEntryConfig
+{
+    int tagBits = 30;    ///< fully-associative tag (CAM bits)
+    int targetBits = 32; ///< branch target
+};
+
+/** The customized architecture: baseline BTB + custom FSM entries. */
+class CustomBranchPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param btb Baseline BTB geometry.
+     * @param entry_config Per-custom-entry storage parameters.
+     * @param area_line states -> area model for the FSM logic, fitted a
+     *        la Figure 4 (pass {0,0,0} to charge zero FSM logic area).
+     * @param costs Technology constants.
+     */
+    CustomBranchPredictor(const BtbConfig &btb = {},
+                          const CustomEntryConfig &entry_config = {},
+                          const LineFit &area_line = {},
+                          const AreaCosts &costs = {});
+
+    /**
+     * Lock down a custom entry for the branch at @p pc driven by
+     * @p fsm. Insertion order is preserved for lookups.
+     */
+    void addCustomEntry(uint64_t pc, const Dfa &fsm);
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    double area() const override;
+    std::string name() const override;
+
+    size_t numCustomEntries() const { return entries_.size(); }
+
+    /** True iff @p pc has a custom entry. */
+    bool isCustom(uint64_t pc) const;
+
+    /** The baseline BTB (for tests and inspection). */
+    const XScaleBtb &btb() const { return btb_; }
+
+  private:
+    struct CustomEntry
+    {
+        uint64_t pc;
+        PredictorFsm fsm;
+        double fsmArea;
+    };
+
+    XScaleBtb btb_;
+    CustomEntryConfig entryConfig_;
+    LineFit areaLine_;
+    AreaCosts costs_;
+    std::vector<CustomEntry> entries_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_CUSTOM_HH

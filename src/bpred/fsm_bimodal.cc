@@ -1,0 +1,78 @@
+#include "bpred/fsm_bimodal.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+FsmBimodalBtb::FsmBimodalBtb(const Dfa &counter, const BtbConfig &config,
+                             const AreaCosts &costs)
+    : config_(config), costs_(costs),
+      table_(std::make_shared<const FsmTable>(counter)),
+      entries_(static_cast<size_t>(config.entries))
+{
+    assert(config.entries > 0 &&
+           (config.entries & (config.entries - 1)) == 0);
+    for (auto &entry : entries_)
+        entry.state = table_->start();
+}
+
+size_t
+FsmBimodalBtb::indexOf(uint64_t pc) const
+{
+    return static_cast<size_t>((pc >> 2) &
+                               static_cast<uint64_t>(config_.entries - 1));
+}
+
+uint64_t
+FsmBimodalBtb::tagOf(uint64_t pc) const
+{
+    const int index_bits = ceilLog2(static_cast<uint32_t>(config_.entries));
+    return (pc >> (2 + index_bits)) & lowMask(config_.tagBits);
+}
+
+bool
+FsmBimodalBtb::predict(uint64_t pc) const
+{
+    const Entry &entry = entries_[indexOf(pc)];
+    if (!entry.valid || entry.tag != tagOf(pc))
+        return false; // BTB miss: predict not-taken
+    return table_->output(entry.state) != 0;
+}
+
+void
+FsmBimodalBtb::update(uint64_t pc, bool taken)
+{
+    Entry &entry = entries_[indexOf(pc)];
+    if (!entry.valid || entry.tag != tagOf(pc)) {
+        entry.valid = true;
+        entry.tag = tagOf(pc);
+        entry.state = table_->start();
+    }
+    entry.state = table_->next(entry.state, taken ? 1 : 0);
+}
+
+double
+FsmBimodalBtb::area() const
+{
+    // Each entry stores tag + target + the counter state bits; the
+    // (shared) next-state logic is charged once per entry as well, as a
+    // replicated-per-entry hardware counter would be.
+    const int state_bits =
+        std::max(1, ceilLog2(static_cast<uint32_t>(table_->numStates())));
+    const double entry_bits = static_cast<double>(
+        config_.tagBits + config_.targetBits + state_bits);
+    return tableArea(entry_bits * config_.entries, costs_);
+}
+
+std::string
+FsmBimodalBtb::name() const
+{
+    return "fsm-bimodal" + std::to_string(config_.entries) + "-s" +
+        std::to_string(table_->numStates());
+}
+
+} // namespace autofsm

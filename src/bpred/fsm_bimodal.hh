@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bimodal BTB whose per-entry counter is a generated FSM.
+ *
+ * The drop-in general-purpose use of the design flow: identical
+ * geometry to the XScale BTB, but each entry holds an instance of one
+ * automatically designed prediction counter (all instances share the
+ * immutable transition table). Allocation resets the entry's machine to
+ * its start state.
+ */
+
+#ifndef AUTOFSM_BPRED_FSM_BIMODAL_HH
+#define AUTOFSM_BPRED_FSM_BIMODAL_HH
+
+#include <vector>
+
+#include "bpred/btb.hh"
+#include "fsmgen/predictor_fsm.hh"
+
+namespace autofsm
+{
+
+/** Direct-mapped BTB with a generated-FSM counter per entry. */
+class FsmBimodalBtb : public BranchPredictor
+{
+  public:
+    FsmBimodalBtb(const Dfa &counter, const BtbConfig &config = {},
+                  const AreaCosts &costs = {});
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    double area() const override;
+    std::string name() const override;
+
+    /** States in the shared counter machine. */
+    int counterStates() const { return table_->numStates(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        int state = 0;
+    };
+
+    size_t indexOf(uint64_t pc) const;
+    uint64_t tagOf(uint64_t pc) const;
+
+    BtbConfig config_;
+    AreaCosts costs_;
+    std::shared_ptr<const FsmTable> table_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_FSM_BIMODAL_HH

@@ -1,0 +1,54 @@
+#include "bpred/gshare.hh"
+
+#include <cassert>
+
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+Gshare::Gshare(const GshareConfig &config, const AreaCosts &costs)
+    : config_(config), costs_(costs)
+{
+    assert(config.log2Entries >= 1 && config.log2Entries <= 24);
+    assert(config.historyBits >= 0 &&
+           config.historyBits <= config.log2Entries);
+    table_.assign(1ULL << config.log2Entries,
+                  SudCounter(SudConfig::twoBit(), 1));
+}
+
+size_t
+Gshare::indexOf(uint64_t pc) const
+{
+    const uint64_t mask = (1ULL << config_.log2Entries) - 1;
+    const uint64_t hist = history_ & ((1ULL << config_.historyBits) - 1);
+    return static_cast<size_t>(((pc >> 2) ^ hist) & mask);
+}
+
+bool
+Gshare::predict(uint64_t pc) const
+{
+    return table_[indexOf(pc)].predict();
+}
+
+void
+Gshare::update(uint64_t pc, bool taken)
+{
+    table_[indexOf(pc)].update(taken);
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+double
+Gshare::area() const
+{
+    const double counter_bits = 2.0 * static_cast<double>(table_.size());
+    return tableArea(counter_bits + config_.btbBits, costs_);
+}
+
+std::string
+Gshare::name() const
+{
+    return "gshare-2^" + std::to_string(config_.log2Entries);
+}
+
+} // namespace autofsm

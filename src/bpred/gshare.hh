@@ -1,0 +1,56 @@
+/**
+ * @file
+ * McFarling's gshare predictor [26], one of the Figure 5 comparison
+ * points: a table of 2-bit counters indexed by PC XOR global history.
+ */
+
+#ifndef AUTOFSM_BPRED_GSHARE_HH
+#define AUTOFSM_BPRED_GSHARE_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "support/sud_counter.hh"
+#include "synth/area.hh"
+
+namespace autofsm
+{
+
+/** Gshare geometry: table of 2^log2Entries 2-bit counters. */
+struct GshareConfig
+{
+    int log2Entries = 12;
+    /** Global history bits folded into the index (<= log2Entries). */
+    int historyBits = 12;
+    /**
+     * Storage bits charged for the accompanying target BTB (tag +
+     * target, no counters), so areas are comparable with the coupled
+     * XScale design.
+     */
+    double btbBits = 128.0 * (23 + 32);
+};
+
+/** The gshare predictor. */
+class Gshare : public BranchPredictor
+{
+  public:
+    explicit Gshare(const GshareConfig &config = {},
+                    const AreaCosts &costs = {});
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    double area() const override;
+    std::string name() const override;
+
+  private:
+    size_t indexOf(uint64_t pc) const;
+
+    GshareConfig config_;
+    AreaCosts costs_;
+    std::vector<SudCounter> table_;
+    uint64_t history_ = 0;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_GSHARE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Local/Global Chooser (LGC) predictor, "similar to the predictor found
+ * in the Alpha 21264" (Section 7.5): a two-level local predictor, a
+ * global-history predictor, and a meta chooser that picks between them.
+ */
+
+#ifndef AUTOFSM_BPRED_LOCAL_GLOBAL_HH
+#define AUTOFSM_BPRED_LOCAL_GLOBAL_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "support/sud_counter.hh"
+#include "synth/area.hh"
+
+namespace autofsm
+{
+
+/**
+ * LGC geometry, scaled by one knob: all four structures (local history
+ * table, local pattern table, global table, chooser) have 2^log2Entries
+ * entries, and local/global history lengths equal log2Entries.
+ */
+struct LgcConfig
+{
+    int log2Entries = 10;
+    /** Target-BTB storage charged for comparability (tag + target). */
+    double btbBits = 128.0 * (23 + 32);
+};
+
+/** The Local Global Chooser predictor. */
+class LocalGlobalChooser : public BranchPredictor
+{
+  public:
+    explicit LocalGlobalChooser(const LgcConfig &config = {},
+                                const AreaCosts &costs = {});
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    double area() const override;
+    std::string name() const override;
+
+  private:
+    bool localPredict(uint64_t pc) const;
+    bool globalPredict() const;
+    size_t pcIndex(uint64_t pc) const;
+    size_t globalIndex() const;
+
+    LgcConfig config_;
+    AreaCosts costs_;
+    std::vector<uint64_t> localHistory_;
+    std::vector<SudCounter> localTable_;
+    std::vector<SudCounter> globalTable_;
+    /** Chooser: high value selects the global prediction. */
+    std::vector<SudCounter> chooser_;
+    uint64_t history_ = 0;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_LOCAL_GLOBAL_HH

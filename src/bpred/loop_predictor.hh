@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Loop termination predictor (Sherwood & Calder, HPC 2000 - the
+ * paper's reference [35]).
+ *
+ * Section 7.5 observes that compress's dominant branch "would benefit
+ * from having a loop count instruction ... or could easily be captured
+ * via customizing the branch predictor to perform loop termination
+ * prediction". This unit is that customization: it learns the trip
+ * count of a loop-exit branch and predicts not-taken exactly on the
+ * learned final iteration. Used as an alternative custom-entry type
+ * next to the generated FSMs.
+ */
+
+#ifndef AUTOFSM_BPRED_LOOP_PREDICTOR_HH
+#define AUTOFSM_BPRED_LOOP_PREDICTOR_HH
+
+#include <cstdint>
+
+namespace autofsm
+{
+
+/**
+ * Per-branch loop termination unit.
+ *
+ * Convention: a loop-exit branch is taken (trip-1) times per loop
+ * instance and then not-taken once.
+ */
+class LoopTerminationUnit
+{
+  public:
+    /** Prediction for the next execution of the loop branch. */
+    bool
+    predict() const
+    {
+        // Predict the exit only once the same trip count has been seen
+        // twice in a row (two-delta-style confidence).
+        if (confident_ && iteration_ + 1 == trip_)
+            return false;
+        return true;
+    }
+
+    /** Train with the branch's resolved direction. */
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            ++iteration_;
+            return;
+        }
+        const uint32_t observed_trip = iteration_ + 1;
+        confident_ = observed_trip == trip_;
+        trip_ = observed_trip;
+        iteration_ = 0;
+    }
+
+    /** Learned trip count (0 before the first full loop instance). */
+    uint32_t trip() const { return trip_; }
+
+    /** Whether the trip count has repeated and exits are predicted. */
+    bool confident() const { return confident_; }
+
+    /** Storage bits of one unit: two iteration counters + state. */
+    static constexpr int StorageBits = 2 * 16 + 1;
+
+  private:
+    uint32_t iteration_ = 0;
+    uint32_t trip_ = 0;
+    bool confident_ = false;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_LOOP_PREDICTOR_HH

@@ -1,0 +1,78 @@
+#include "bpred/ppm.hh"
+
+#include <cassert>
+
+namespace autofsm
+{
+
+PpmPredictor::PpmPredictor(const PpmConfig &config, const AreaCosts &costs)
+    : config_(config), costs_(costs)
+{
+    assert(config.maxOrder >= 1 && config.maxOrder <= 24);
+    assert(config.log2Entries >= 1 && config.log2Entries <= 22);
+    tables_.resize(static_cast<size_t>(config.maxOrder));
+    for (auto &table : tables_)
+        table.assign(1ULL << config.log2Entries, Counts{});
+}
+
+size_t
+PpmPredictor::indexOf(uint64_t pc, int order) const
+{
+    const uint64_t mask = (1ULL << config_.log2Entries) - 1;
+    const uint64_t context = history_ & ((1ULL << order) - 1);
+    // Order-salted hash keeps contexts of different lengths apart even
+    // when they share a table geometry.
+    uint64_t h = (pc >> 2) ^ (context * 0x9e3779b97f4a7c15ULL) ^
+        (static_cast<uint64_t>(order) << 56);
+    h ^= h >> 33;
+    return static_cast<size_t>(h & mask);
+}
+
+bool
+PpmPredictor::predict(uint64_t pc) const
+{
+    // Longest context with enough evidence wins (partial matching).
+    for (int order = config_.maxOrder; order >= 1; --order) {
+        const Counts &entry =
+            tables_[static_cast<size_t>(order - 1)][indexOf(pc, order)];
+        const int total = entry.taken + entry.notTaken;
+        if (total >= config_.minSamples && entry.taken != entry.notTaken)
+            return entry.taken > entry.notTaken;
+    }
+    return false; // cold: predict not-taken, like the BTB-miss default
+}
+
+void
+PpmPredictor::update(uint64_t pc, bool taken)
+{
+    for (int order = 1; order <= config_.maxOrder; ++order) {
+        Counts &entry =
+            tables_[static_cast<size_t>(order - 1)][indexOf(pc, order)];
+        uint16_t &hit = taken ? entry.taken : entry.notTaken;
+        if (hit == 0xffff) {
+            // Halve both counts to keep the ratio while avoiding wrap.
+            entry.taken = static_cast<uint16_t>(entry.taken >> 1);
+            entry.notTaken = static_cast<uint16_t>(entry.notTaken >> 1);
+        }
+        ++hit;
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+double
+PpmPredictor::area() const
+{
+    // 2 x 16-bit frequency counters per entry, per order table.
+    const double bits = static_cast<double>(config_.maxOrder) *
+        static_cast<double>(1ULL << config_.log2Entries) * 32.0;
+    return tableArea(bits + config_.btbBits, costs_);
+}
+
+std::string
+PpmPredictor::name() const
+{
+    return "ppm-m" + std::to_string(config_.maxOrder) + "-2^" +
+        std::to_string(config_.log2Entries);
+}
+
+} // namespace autofsm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Prediction by Partial Matching (PPM) branch predictor.
+ *
+ * The data-compression-derived predictor of Chen, Coffey & Mudge
+ * (ASPLOS'96), discussed in the paper's prior-work section: M tables
+ * indexed by global histories of length 1..M; all tables are searched
+ * in parallel and the longest history with sufficient evidence makes
+ * the prediction. Included as an additional strong baseline for the
+ * Figure 5 comparisons.
+ */
+
+#ifndef AUTOFSM_BPRED_PPM_HH
+#define AUTOFSM_BPRED_PPM_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+#include "synth/area.hh"
+
+namespace autofsm
+{
+
+/** PPM geometry. */
+struct PpmConfig
+{
+    /** Longest context length M; tables cover lengths 1..M. */
+    int maxOrder = 8;
+    /** log2 entries of each per-order table. */
+    int log2Entries = 10;
+    /** Counter evidence required before a context may predict. */
+    int minSamples = 2;
+    /** Target-BTB storage charged for comparability. */
+    double btbBits = 128.0 * (23 + 32);
+};
+
+/** The PPM predictor. */
+class PpmPredictor : public BranchPredictor
+{
+  public:
+    explicit PpmPredictor(const PpmConfig &config = {},
+                          const AreaCosts &costs = {});
+
+    bool predict(uint64_t pc) const override;
+    void update(uint64_t pc, bool taken) override;
+    double area() const override;
+    std::string name() const override;
+
+  private:
+    /** Frequency entry: taken/not-taken counts for one context. */
+    struct Counts
+    {
+        uint16_t taken = 0;
+        uint16_t notTaken = 0;
+    };
+
+    size_t indexOf(uint64_t pc, int order) const;
+
+    PpmConfig config_;
+    AreaCosts costs_;
+    /** tables_[k] covers history length k+1. */
+    std::vector<std::vector<Counts>> tables_;
+    uint64_t history_ = 0;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_PPM_HH

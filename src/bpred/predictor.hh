@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Common interface of the branch direction predictors compared in
+ * Figure 5 (XScale bimodal BTB, gshare, local/global chooser, and the
+ * customized architecture).
+ */
+
+#ifndef AUTOFSM_BPRED_PREDICTOR_HH
+#define AUTOFSM_BPRED_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace autofsm
+{
+
+/** A trace-driven conditional branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predicted direction for the branch at @p pc. */
+    virtual bool predict(uint64_t pc) const = 0;
+
+    /** Train with the resolved direction of the branch at @p pc. */
+    virtual void update(uint64_t pc, bool taken) = 0;
+
+    /** Estimated implementation area, in the repo's gate units. */
+    virtual double area() const = 0;
+
+    /** Human-readable configuration name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_PREDICTOR_HH

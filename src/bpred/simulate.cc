@@ -1,0 +1,35 @@
+#include "bpred/simulate.hh"
+
+namespace autofsm
+{
+
+BpredSimResult
+simulateBranchPredictor(BranchPredictor &predictor, const BranchTrace &trace)
+{
+    BpredSimResult result;
+    for (const auto &record : trace) {
+        ++result.branches;
+        if (predictor.predict(record.pc) != record.taken)
+            ++result.mispredicts;
+        predictor.update(record.pc, record.taken);
+    }
+    return result;
+}
+
+BpredSimResult
+simulateBranchPredictor(BranchPredictor &predictor, const BranchTrace &trace,
+                        std::unordered_map<uint64_t, uint64_t> &per_branch)
+{
+    BpredSimResult result;
+    for (const auto &record : trace) {
+        ++result.branches;
+        if (predictor.predict(record.pc) != record.taken) {
+            ++result.mispredicts;
+            ++per_branch[record.pc];
+        }
+        predictor.update(record.pc, record.taken);
+    }
+    return result;
+}
+
+} // namespace autofsm

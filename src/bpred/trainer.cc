@@ -1,0 +1,73 @@
+#include "bpred/trainer.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/history.hh"
+
+namespace autofsm
+{
+
+std::vector<std::pair<uint64_t, uint64_t>>
+profileBaselineMisses(const BranchTrace &trace, const BtbConfig &baseline)
+{
+    XScaleBtb btb(baseline);
+    std::unordered_map<uint64_t, uint64_t> misses;
+    for (const auto &record : trace) {
+        if (btb.predict(record.pc) != record.taken)
+            ++misses[record.pc];
+        btb.update(record.pc, record.taken);
+    }
+
+    std::vector<std::pair<uint64_t, uint64_t>> ranked(misses.begin(),
+                                                      misses.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first; // deterministic tie-break
+              });
+    return ranked;
+}
+
+std::vector<TrainedBranch>
+trainCustomPredictors(const BranchTrace &trace,
+                      const CustomTrainingOptions &options)
+{
+    const auto ranked = profileBaselineMisses(trace, options.baseline);
+    const size_t count = std::min(
+        ranked.size(), static_cast<size_t>(options.maxCustomBranches));
+
+    // Second pass: one Markov model per selected branch, fed with the
+    // global history register content at each execution of that branch.
+    std::unordered_map<uint64_t, MarkovModel> models;
+    for (size_t i = 0; i < count; ++i)
+        models.emplace(ranked[i].first, MarkovModel(options.historyLength));
+
+    HistoryRegister global(options.historyLength);
+    for (const auto &record : trace) {
+        if (global.warm()) {
+            const auto it = models.find(record.pc);
+            if (it != models.end())
+                it->second.observe(global.value(), record.taken ? 1 : 0);
+        }
+        global.push(record.taken ? 1 : 0);
+    }
+
+    std::vector<TrainedBranch> trained;
+    trained.reserve(count);
+    FsmDesignOptions design;
+    design.order = options.historyLength;
+    design.patterns = options.patterns;
+    design.minimizer = options.minimizer;
+    for (size_t i = 0; i < count; ++i) {
+        TrainedBranch branch;
+        branch.pc = ranked[i].first;
+        branch.baselineMisses = ranked[i].second;
+        branch.design = designFsm(models.at(branch.pc), design);
+        trained.push_back(std::move(branch));
+    }
+    return trained;
+}
+
+} // namespace autofsm

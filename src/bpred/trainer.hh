@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Profile-guided training of custom per-branch FSM predictors
+ * (Section 7.3).
+ *
+ * Step 1: profile the application with the baseline XScale predictor to
+ * find the branches causing the most mispredictions. Step 2: for each
+ * such branch, build a Markov model over the *global* history register
+ * as seen right before the branch executes. Step 3: run the Section 4
+ * design flow per branch.
+ */
+
+#ifndef AUTOFSM_BPRED_TRAINER_HH
+#define AUTOFSM_BPRED_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/btb.hh"
+#include "fsmgen/designer.hh"
+#include "trace/branch_trace.hh"
+
+namespace autofsm
+{
+
+/** Knobs of the custom-predictor training flow. */
+struct CustomTrainingOptions
+{
+    /** Global history length; the paper uses 9 throughout. */
+    int historyLength = 9;
+    /** How many of the worst branches to build FSMs for. */
+    int maxCustomBranches = 12;
+    /** Pattern knobs (threshold 0.5, 1% don't-care mass by default). */
+    PatternOptions patterns;
+    /** Logic minimizer selection. */
+    MinimizeAlgo minimizer = MinimizeAlgo::Auto;
+    /** Baseline used for the misprediction profile. */
+    BtbConfig baseline;
+};
+
+/** One trained branch: who it is, how bad it was, and its machine. */
+struct TrainedBranch
+{
+    uint64_t pc = 0;
+    /** Baseline mispredictions in the profiling run (ranking key). */
+    uint64_t baselineMisses = 0;
+    /** Full design-flow artifacts, including the final FSM. */
+    FsmDesignResult design;
+};
+
+/**
+ * Profile @p trace with the baseline predictor and design one FSM per
+ * worst branch.
+ *
+ * @return Trained branches sorted by decreasing baseline mispredictions
+ *         (the order in which Figure 5 adds custom entries).
+ */
+std::vector<TrainedBranch>
+trainCustomPredictors(const BranchTrace &trace,
+                      const CustomTrainingOptions &options = {});
+
+/**
+ * Per-branch baseline misprediction counts for @p trace under a fresh
+ * XScale BTB of @p baseline geometry (exposed for tests and benches).
+ */
+std::vector<std::pair<uint64_t, uint64_t>>
+profileBaselineMisses(const BranchTrace &trace,
+                      const BtbConfig &baseline = {});
+
+} // namespace autofsm
+
+#endif // AUTOFSM_BPRED_TRAINER_HH

@@ -1,0 +1,157 @@
+#include "cache/bypass.hh"
+
+#include <cassert>
+
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+size_t
+hashPc(uint64_t pc, int log2_entries)
+{
+    uint64_t h = (pc >> 2) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 31;
+    return static_cast<size_t>(h & ((1ULL << log2_entries) - 1));
+}
+
+} // anonymous namespace
+
+SudBypass::SudBypass(int log2_entries, const SudConfig &config)
+    : log2Entries_(log2_entries),
+      // Start saturated: a cold load is presumed useful, so the cache
+      // behaves conventionally until evidence of pollution accumulates.
+      counters_(1ULL << log2_entries, SudCounter(config, config.max))
+{
+    assert(log2_entries >= 1 && log2_entries <= 20);
+}
+
+size_t
+SudBypass::indexOf(uint64_t pc) const
+{
+    return hashPc(pc, log2Entries_);
+}
+
+bool
+SudBypass::shouldBypass(uint64_t pc) const
+{
+    // The counter votes "will be reused"; bypass on the complement.
+    return !counters_[indexOf(pc)].predict();
+}
+
+void
+SudBypass::update(uint64_t pc, bool reused)
+{
+    counters_[indexOf(pc)].update(reused);
+}
+
+FsmBypass::FsmBypass(int log2_entries, const Dfa &fsm)
+    : log2Entries_(log2_entries),
+      table_(std::make_shared<const FsmTable>(fsm))
+{
+    assert(log2_entries >= 1 && log2_entries <= 20);
+    const size_t n = 1ULL << log2_entries;
+    machines_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        machines_.emplace_back(table_);
+}
+
+size_t
+FsmBypass::indexOf(uint64_t pc) const
+{
+    return hashPc(pc, log2Entries_);
+}
+
+bool
+FsmBypass::shouldBypass(uint64_t pc) const
+{
+    return machines_[indexOf(pc)].predict() == 0;
+}
+
+void
+FsmBypass::update(uint64_t pc, bool reused)
+{
+    machines_[indexOf(pc)].update(reused ? 1 : 0);
+}
+
+BypassSimResult
+simulateBypass(const ValueTrace &accesses, const CacheConfig &config,
+               BypassPredictor &predictor, const BypassSimOptions &options)
+{
+    SetAssocCache cache(config);
+    BypassSimResult result;
+    uint64_t bypass_wishes = 0;
+    for (const auto &record : accesses) {
+        bool bypass = predictor.shouldBypass(record.pc);
+        if (bypass && options.sampleEvery > 0 &&
+            ++bypass_wishes %
+                    static_cast<uint64_t>(options.sampleEvery) ==
+                0) {
+            bypass = false; // sampling fill
+        }
+        const CacheAccessResult access =
+            cache.access(record.pc, record.value, !bypass);
+        ++result.accesses;
+        result.misses += !access.hit;
+        result.bypasses += !access.hit && bypass;
+        // Prompt positive evidence at first reuse; negative evidence
+        // when a never-reused block dies. (Reused blocks already
+        // reported their usefulness, so their eviction is silent.)
+        if (access.firstReuse)
+            predictor.update(access.reusedFillPc, true);
+        if (access.evicted && !access.victimWasReused)
+            predictor.update(access.victimFillPc, false);
+    }
+    return result;
+}
+
+void
+collectReuseModel(const ValueTrace &accesses, const CacheConfig &config,
+                  int log2_entries, MarkovModel &model,
+                  BypassPredictor &baseline,
+                  const BypassSimOptions &options)
+{
+    SetAssocCache cache(config);
+    const size_t entries = 1ULL << log2_entries;
+    std::vector<uint32_t> history(entries, 0);
+    std::vector<int> pushes(entries, 0);
+    uint64_t bypass_wishes = 0;
+
+    for (const auto &record : accesses) {
+        bool bypass = baseline.shouldBypass(record.pc);
+        if (bypass && options.sampleEvery > 0 &&
+            ++bypass_wishes %
+                    static_cast<uint64_t>(options.sampleEvery) ==
+                0) {
+            bypass = false;
+        }
+        const CacheAccessResult access =
+            cache.access(record.pc, record.value, !bypass);
+
+        auto record_event = [&](uint64_t fill_pc, bool reused) {
+            baseline.update(fill_pc, reused);
+            const size_t entry = hashPc(fill_pc, log2_entries);
+            const int bit = reused ? 1 : 0;
+            if (pushes[entry] >= model.order()) {
+                model.observe(history[entry] & lowMask(model.order()),
+                              bit);
+            }
+            history[entry] = ((history[entry] << 1) |
+                              static_cast<uint32_t>(bit)) &
+                lowMask(model.order());
+            if (pushes[entry] < model.order())
+                ++pushes[entry];
+        };
+
+        // Mirror the runtime feedback exactly (see simulateBypass).
+        if (access.firstReuse)
+            record_event(access.reusedFillPc, true);
+        if (access.evicted && !access.victimWasReused)
+            record_event(access.victimFillPc, false);
+    }
+}
+
+} // namespace autofsm

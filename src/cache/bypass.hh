@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Cache bypass (exclusion) predictors - the Section 2.4 application.
+ *
+ * Keyed by the missing load's PC, the predictor decides whether the
+ * miss should fill the cache. Training signal: when a block is evicted,
+ * the PC that filled it learns whether the block was re-referenced
+ * (fill was useful) or not (fill was pollution and should have been
+ * bypassed). Counter-based and generated-FSM variants share one
+ * interface; the driver in bypass_sim runs them against the cache model
+ * and also derives the Markov models the FSM design flow consumes.
+ */
+
+#ifndef AUTOFSM_CACHE_BYPASS_HH
+#define AUTOFSM_CACHE_BYPASS_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "fsmgen/markov.hh"
+#include "fsmgen/predictor_fsm.hh"
+#include "support/sud_counter.hh"
+#include "trace/value_trace.hh"
+
+namespace autofsm
+{
+
+/** Per-load bypass decision interface. */
+class BypassPredictor
+{
+  public:
+    virtual ~BypassPredictor() = default;
+
+    /** Should the miss at @p pc skip allocation? */
+    virtual bool shouldBypass(uint64_t pc) const = 0;
+
+    /** The fill made by @p pc was useful (reused) or not. */
+    virtual void update(uint64_t pc, bool reused) = 0;
+};
+
+/** Never bypass: the conventional cache. */
+class NeverBypass : public BypassPredictor
+{
+  public:
+    bool shouldBypass(uint64_t) const override { return false; }
+    void update(uint64_t, bool) override {}
+};
+
+/** Table of SUD counters voting "will be reused". */
+class SudBypass : public BypassPredictor
+{
+  public:
+    SudBypass(int log2_entries, const SudConfig &config);
+
+    bool shouldBypass(uint64_t pc) const override;
+    void update(uint64_t pc, bool reused) override;
+
+  private:
+    size_t indexOf(uint64_t pc) const;
+
+    int log2Entries_;
+    std::vector<SudCounter> counters_;
+};
+
+/** Table of generated-FSM reuse predictors (shared transition table). */
+class FsmBypass : public BypassPredictor
+{
+  public:
+    FsmBypass(int log2_entries, const Dfa &fsm);
+
+    bool shouldBypass(uint64_t pc) const override;
+    void update(uint64_t pc, bool reused) override;
+
+  private:
+    size_t indexOf(uint64_t pc) const;
+
+    int log2Entries_;
+    std::shared_ptr<const FsmTable> table_;
+    std::vector<PredictorFsm> machines_;
+};
+
+/** Outcome of one bypass simulation run. */
+struct BypassSimResult
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t bypasses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+};
+
+/** Runtime policy knobs. */
+struct BypassSimOptions
+{
+    /**
+     * Every Nth miss the predictor wants to bypass fills anyway (a
+     * sampling fill), keeping the reuse training signal alive - without
+     * it a bypass-everything state is absorbing, since bypassed misses
+     * never produce eviction feedback. 0 disables sampling.
+     */
+    int sampleEvery = 16;
+};
+
+/**
+ * Drive a memory access trace (pc, address in LoadRecord::value)
+ * through the cache with @p predictor making fill decisions; eviction
+ * outcomes train the predictor.
+ */
+BypassSimResult simulateBypass(const ValueTrace &accesses,
+                               const CacheConfig &config,
+                               BypassPredictor &predictor,
+                               const BypassSimOptions &options = {});
+
+/**
+ * Training pass: per-load-PC reuse streams feed @p model (the
+ * Section 4 flow's input for designing an FSM bypass predictor).
+ * Mirrors the paper's methodology of profiling *under the baseline
+ * policy*: fills are decided by @p baseline (pass NeverBypass for a
+ * conventional cache) so the recorded reuse behavior reflects a sane
+ * cache, not a thrashing one.
+ */
+void collectReuseModel(const ValueTrace &accesses, const CacheConfig &config,
+                       int log2_entries, MarkovModel &model,
+                       BypassPredictor &baseline,
+                       const BypassSimOptions &options = {});
+
+} // namespace autofsm
+
+#endif // AUTOFSM_CACHE_BYPASS_HH

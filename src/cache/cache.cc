@@ -1,0 +1,92 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : config_(config),
+      blocks_(static_cast<size_t>(config.sets) *
+              static_cast<size_t>(config.ways))
+{
+    assert(config.sets > 0 && (config.sets & (config.sets - 1)) == 0);
+    assert(config.ways > 0);
+    assert(config.blockBytes > 0 &&
+           (config.blockBytes & (config.blockBytes - 1)) == 0);
+}
+
+size_t
+SetAssocCache::setOf(uint64_t addr) const
+{
+    const int block_bits = ceilLog2(static_cast<uint32_t>(config_.blockBytes));
+    return static_cast<size_t>((addr >> block_bits) &
+                               static_cast<uint64_t>(config_.sets - 1));
+}
+
+uint64_t
+SetAssocCache::tagOf(uint64_t addr) const
+{
+    const int block_bits = ceilLog2(static_cast<uint32_t>(config_.blockBytes));
+    const int set_bits = ceilLog2(static_cast<uint32_t>(config_.sets));
+    return addr >> (block_bits + set_bits);
+}
+
+CacheAccessResult
+SetAssocCache::access(uint64_t pc, uint64_t addr, bool fill_on_miss)
+{
+    ++accesses_;
+    ++clock_;
+    CacheAccessResult result;
+
+    Block *base = &blocks_[setOf(addr) * static_cast<size_t>(config_.ways)];
+    const uint64_t tag = tagOf(addr);
+
+    // Hit path: refresh LRU, mark reuse.
+    for (int w = 0; w < config_.ways; ++w) {
+        Block &block = base[w];
+        if (block.valid && block.tag == tag) {
+            block.lastUse = clock_;
+            if (!block.reused) {
+                block.reused = true;
+                result.firstReuse = true;
+                result.reusedFillPc = block.fillPc;
+            }
+            result.hit = true;
+            return result;
+        }
+    }
+
+    ++misses_;
+    if (!fill_on_miss)
+        return result; // bypass: no allocation, no eviction
+
+    // Victim selection: invalid way first, else LRU.
+    Block *victim = &base[0];
+    for (int w = 0; w < config_.ways; ++w) {
+        Block &block = base[w];
+        if (!block.valid) {
+            victim = &block;
+            break;
+        }
+        if (block.lastUse < victim->lastUse)
+            victim = &block;
+    }
+
+    if (victim->valid) {
+        result.evicted = true;
+        result.victimFillPc = victim->fillPc;
+        result.victimWasReused = victim->reused;
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->fillPc = pc;
+    victim->lastUse = clock_;
+    victim->reused = false;
+    return result;
+}
+
+} // namespace autofsm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Set-associative data cache model (substrate for Section 2.4).
+ *
+ * The paper lists cache management - selective replacement and cache
+ * exclusion (Tyson et al. [45], McFarling [25]) - among the FSM
+ * predictor applications: a small counter per load decides whether a
+ * miss should fill the cache at all. This module provides the cache
+ * itself: LRU set-associative, with an optional no-fill (bypass) access
+ * mode and an eviction callback that reports whether the victim block
+ * was ever re-referenced - the training signal for bypass predictors.
+ */
+
+#ifndef AUTOFSM_CACHE_CACHE_HH
+#define AUTOFSM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace autofsm
+{
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    int sets = 128;       ///< power-of-two set count
+    int ways = 4;         ///< associativity
+    int blockBytes = 32;  ///< power-of-two line size
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /**
+     * Set on the first re-reference of a block after its fill: prompt
+     * positive evidence that `reusedFillPc`'s fill was useful. (Waiting
+     * for the eviction to learn this starves feedback in caches where
+     * most fills are being bypassed.)
+     */
+    bool firstReuse = false;
+    /** PC whose fill just proved useful (valid with firstReuse). */
+    uint64_t reusedFillPc = 0;
+    /** Valid when the access evicted a block. */
+    bool evicted = false;
+    /** PC that originally filled the evicted block. */
+    uint64_t victimFillPc = 0;
+    /** Whether the evicted block was referenced again after its fill. */
+    bool victimWasReused = false;
+};
+
+/** LRU set-associative cache with bypassable fills. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config = {});
+
+    /**
+     * Access the byte address @p addr on behalf of the load at @p pc.
+     *
+     * @param fill_on_miss When false, a miss does not allocate (cache
+     *        bypass); hits still refresh LRU.
+     */
+    CacheAccessResult access(uint64_t pc, uint64_t addr,
+                             bool fill_on_miss = true);
+
+    /** @name Aggregate statistics. */
+    /// @{
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        return accesses_ == 0
+            ? 0.0
+            : static_cast<double>(misses_) /
+                static_cast<double>(accesses_);
+    }
+    /// @}
+
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Block
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t fillPc = 0;
+        uint64_t lastUse = 0; ///< LRU timestamp
+        bool reused = false;  ///< touched again after the fill
+    };
+
+    size_t setOf(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig config_;
+    std::vector<Block> blocks_; ///< sets * ways, row-major by set
+    uint64_t clock_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_CACHE_CACHE_HH

@@ -1,0 +1,60 @@
+#include "fsmgen/designer.hh"
+
+#include <cassert>
+
+namespace autofsm
+{
+
+FsmDesignResult
+designFsm(const MarkovModel &model, const FsmDesignOptions &options)
+{
+    assert(model.order() == options.order);
+
+    FsmDesignResult result;
+    result.patterns = definePatterns(model, options.patterns);
+
+    const TruthTable table = result.patterns.toTruthTable();
+    result.cover = minimize(table, options.minimizer);
+
+    if (result.cover.empty()) {
+        // Nothing to predict 1 on: the constant machine. (Hopcroft would
+        // reduce the general pipeline to this anyway; short-circuiting
+        // avoids building an NFA for the empty language.)
+        result.regexText = "(empty)";
+        result.beforeReduction = Dfa::constant(0);
+        result.fsm = result.beforeReduction;
+        result.statesSubset = 1;
+        result.statesHopcroft = 1;
+        result.statesFinal = 1;
+        return result;
+    }
+
+    const Regex regex = regexFromCover(result.cover);
+    result.regexText = regex.toString();
+
+    const Nfa nfa = Nfa::fromRegex(regex);
+    const Dfa raw = Dfa::fromNfa(nfa);
+    result.statesSubset = raw.numStates();
+
+    result.beforeReduction = raw.minimizeHopcroft();
+    result.statesHopcroft = result.beforeReduction.numStates();
+
+    if (options.keepStartupStates) {
+        result.fsm = result.beforeReduction;
+    } else {
+        result.fsm = result.beforeReduction.steadyStateReduce();
+    }
+    result.statesFinal = result.fsm.numStates();
+    return result;
+}
+
+FsmDesignResult
+designFromTrace(const std::vector<int> &trace,
+                const FsmDesignOptions &options)
+{
+    MarkovModel model(options.order);
+    model.train(trace);
+    return designFsm(model, options);
+}
+
+} // namespace autofsm

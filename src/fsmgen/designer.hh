@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The end-to-end automated FSM predictor design flow (Section 4).
+ *
+ * trace -> Markov model -> pattern sets -> minimized cover -> regular
+ * expression -> NFA -> DFA -> Hopcroft minimization -> start-state
+ * reduction. The result carries the artifacts of every stage so examples,
+ * benches and tests can inspect intermediate products (e.g. Figure 1
+ * shows the machine both before and after start-state reduction).
+ */
+
+#ifndef AUTOFSM_FSMGEN_DESIGNER_HH
+#define AUTOFSM_FSMGEN_DESIGNER_HH
+
+#include <string>
+#include <vector>
+
+#include "automata/dfa.hh"
+#include "automata/regex.hh"
+#include "fsmgen/markov.hh"
+#include "fsmgen/patterns.hh"
+#include "logicmin/minimize.hh"
+
+namespace autofsm
+{
+
+/** Knobs of the whole design flow. */
+struct FsmDesignOptions
+{
+    /** Markov order / history length N. */
+    int order = 2;
+    /** Pattern-definition knobs (threshold, don't-care mass). */
+    PatternOptions patterns;
+    /** Logic-minimization engine. */
+    MinimizeAlgo minimizer = MinimizeAlgo::Auto;
+    /**
+     * Skip start-state reduction and keep the transient start-up states
+     * (used to reproduce the left-hand machine of Figure 1 and for the
+     * size ablation).
+     */
+    bool keepStartupStates = false;
+};
+
+/** All artifacts produced by one run of the design flow. */
+struct FsmDesignResult
+{
+    PatternSets patterns;
+    /** Minimized sum-of-products description of the "predict 1" set. */
+    Cover cover{1};
+    /** The paper-notation regular expression for the language L. */
+    std::string regexText;
+    /** Hopcroft-minimized machine before start-state reduction. */
+    Dfa beforeReduction;
+    /** The final predictor machine. */
+    Dfa fsm;
+
+    /** @name Stage state-count statistics. */
+    /// @{
+    int statesSubset = 0;   ///< after subset construction
+    int statesHopcroft = 0; ///< after Hopcroft minimization
+    int statesFinal = 0;    ///< after start-state reduction
+    /// @}
+};
+
+/** Run the design flow on a pre-built Markov model. */
+FsmDesignResult designFsm(const MarkovModel &model,
+                          const FsmDesignOptions &options = {});
+
+/** Convenience: train a model on @p trace, then run the flow. */
+FsmDesignResult designFromTrace(const std::vector<int> &trace,
+                                const FsmDesignOptions &options = {});
+
+} // namespace autofsm
+
+#endif // AUTOFSM_FSMGEN_DESIGNER_HH

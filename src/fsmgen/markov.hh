@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Nth-order Markov model of a binary behavior trace (Section 4.2).
+ *
+ * The model records, for each length-N history actually seen in the
+ * trace, how often the next bit was 1. Storage is sparse: per-branch
+ * models see only a tiny fraction of the 2^N possible histories (the
+ * paper compresses its tables the same way, "only storing non-zero
+ * entries").
+ */
+
+#ifndef AUTOFSM_FSMGEN_MARKOV_HH
+#define AUTOFSM_FSMGEN_MARKOV_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bits.hh"
+#include "support/history.hh"
+
+namespace autofsm
+{
+
+/** Counts attached to one history pattern. */
+struct HistoryCounts
+{
+    uint64_t ones = 0;  ///< times the next bit was 1
+    uint64_t total = 0; ///< times the history was seen with a next bit
+};
+
+/** Sparse Nth-order Markov model over the binary alphabet. */
+class MarkovModel
+{
+  public:
+    /** @param order History length N, in [1, 24]. */
+    explicit MarkovModel(int order);
+
+    int order() const { return order_; }
+
+    /**
+     * Record that @p history (packed, bit 0 = most recent outcome) was
+     * followed by @p outcome.
+     */
+    void observe(uint32_t history, int outcome);
+
+    /**
+     * Convenience trainer: slide a length-N window across @p trace and
+     * observe every (history, next-bit) pair. The first N bits only warm
+     * the window up, exactly as in the paper's worked example.
+     */
+    void train(const std::vector<int> &trace);
+
+    /** P[next = 1 | history]; 0.5 for histories never observed. */
+    double probabilityOne(uint32_t history) const;
+
+    /** Counts for @p history; zeros if never observed. */
+    HistoryCounts counts(uint32_t history) const;
+
+    /** Number of distinct histories observed. */
+    size_t distinctHistories() const { return table_.size(); }
+
+    /** Total observations across all histories. */
+    uint64_t totalObservations() const { return total_; }
+
+    /** Merge another model of the same order into this one. */
+    void merge(const MarkovModel &other);
+
+    /** Read-only view of the sparse table. */
+    const std::unordered_map<uint32_t, HistoryCounts> &
+    table() const
+    {
+        return table_;
+    }
+
+  private:
+    int order_;
+    uint64_t total_ = 0;
+    std::unordered_map<uint32_t, HistoryCounts> table_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_FSMGEN_MARKOV_HH

@@ -1,0 +1,86 @@
+#include "fsmgen/patterns.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autofsm
+{
+
+TruthTable
+PatternSets::toTruthTable() const
+{
+    TruthTable table(order);
+    for (uint32_t h : predictOne)
+        table.addOn(h);
+    for (uint32_t h : dontCare)
+        table.addDontCare(h);
+    // predictZero histories are the implicit OFF-set.
+    return table;
+}
+
+PatternSets
+definePatterns(const MarkovModel &model, const PatternOptions &options)
+{
+    assert(options.threshold >= 0.0 && options.threshold <= 1.0);
+    assert(options.dontCareMass >= 0.0 && options.dontCareMass < 1.0);
+
+    PatternSets sets;
+    sets.order = model.order();
+
+    // Select the rare histories to sacrifice: least-seen first, while
+    // their cumulative observation count stays within the allowed mass.
+    std::vector<std::pair<uint32_t, uint64_t>> seen;
+    seen.reserve(model.table().size());
+    for (const auto &[history, counts] : model.table())
+        seen.emplace_back(history, counts.total);
+    std::sort(seen.begin(), seen.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second < b.second;
+                  return a.first < b.first; // deterministic tie-break
+              });
+
+    const auto budget = static_cast<uint64_t>(
+        options.dontCareMass *
+        static_cast<double>(model.totalObservations()));
+    std::vector<bool> rare(seen.size(), false);
+    uint64_t used = 0;
+    for (size_t i = 0; i < seen.size(); ++i) {
+        if (used + seen[i].second > budget)
+            break;
+        used += seen[i].second;
+        rare[i] = true;
+    }
+
+    for (size_t i = 0; i < seen.size(); ++i) {
+        const uint32_t history = seen[i].first;
+        if (rare[i]) {
+            sets.dontCare.push_back(history);
+        } else if (model.probabilityOne(history) >= options.threshold) {
+            sets.predictOne.push_back(history);
+        } else {
+            sets.predictZero.push_back(history);
+        }
+    }
+
+    if (options.unseenAreDontCare) {
+        const uint64_t space = 1ULL << model.order();
+        if (model.table().size() < space) {
+            for (uint32_t h = 0; h < space; ++h) {
+                if (model.counts(h).total == 0)
+                    sets.dontCare.push_back(h);
+            }
+        }
+    } else {
+        // Unseen histories default to "predict 0" (they fall into the
+        // implicit OFF-set by not being listed anywhere).
+    }
+
+    // Deterministic ordering for downstream stages and tests.
+    std::sort(sets.predictOne.begin(), sets.predictOne.end());
+    std::sort(sets.predictZero.begin(), sets.predictZero.end());
+    std::sort(sets.dontCare.begin(), sets.dontCare.end());
+    return sets;
+}
+
+} // namespace autofsm

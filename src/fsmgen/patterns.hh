@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Pattern definition: partition histories into "predict 1", "predict 0"
+ * and "don't care" sets (Section 4.3).
+ */
+
+#ifndef AUTOFSM_FSMGEN_PATTERNS_HH
+#define AUTOFSM_FSMGEN_PATTERNS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fsmgen/markov.hh"
+#include "logicmin/truth_table.hh"
+
+namespace autofsm
+{
+
+/** Knobs of the pattern-definition stage. */
+struct PatternOptions
+{
+    /**
+     * Predict-1 bias threshold. A history with P[1|h] >= threshold joins
+     * the "predict 1" set. 0.5 is the misprediction-minimizing choice
+     * for branch prediction; confidence estimators sweep it towards 1.0
+     * to trade coverage for accuracy (the Figure 2 curves).
+     */
+    double threshold = 0.5;
+
+    /**
+     * Fraction of total observations whose least-seen histories are
+     * placed in the "don't care" set. The paper reports that donating
+     * the 1% least seen histories halves predictor size with negligible
+     * accuracy impact.
+     */
+    double dontCareMass = 0.01;
+
+    /**
+     * Whether the 2^N histories never observed in the trace are
+     * don't-cares (always beneficial; exposed for ablation).
+     */
+    bool unseenAreDontCare = true;
+};
+
+/** The three history sets, in packed-history form. */
+struct PatternSets
+{
+    int order = 0;
+    std::vector<uint32_t> predictOne;
+    std::vector<uint32_t> predictZero;
+    std::vector<uint32_t> dontCare;
+
+    /** Build the ON/DC truth table handed to logic minimization. */
+    TruthTable toTruthTable() const;
+};
+
+/**
+ * Partition every history of the model's order according to @p options.
+ *
+ * Seen histories with P[1|h] >= threshold go to "predict 1", the rest to
+ * "predict 0", except that the least-frequently-seen histories making up
+ * at most `dontCareMass` of all observations are diverted to the
+ * "don't care" set (ties broken towards keeping histories specified).
+ */
+PatternSets definePatterns(const MarkovModel &model,
+                           const PatternOptions &options = {});
+
+} // namespace autofsm
+
+#endif // AUTOFSM_FSMGEN_PATTERNS_HH

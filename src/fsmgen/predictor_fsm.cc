@@ -1,0 +1,20 @@
+#include "fsmgen/predictor_fsm.hh"
+
+namespace autofsm
+{
+
+FsmTable::FsmTable(const Dfa &dfa)
+    : start_(dfa.start())
+{
+    const int n = dfa.numStates();
+    next_.resize(static_cast<size_t>(n) * 2);
+    outputs_.resize(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+        next_[static_cast<size_t>(s) * 2 + 0] = dfa.next(s, 0);
+        next_[static_cast<size_t>(s) * 2 + 1] = dfa.next(s, 1);
+        outputs_[static_cast<size_t>(s)] =
+            static_cast<uint8_t>(dfa.output(s));
+    }
+}
+
+} // namespace autofsm

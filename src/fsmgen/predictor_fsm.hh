@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Runtime form of a generated FSM predictor.
+ *
+ * Wraps an immutable transition table (shared between the many instances
+ * a hardware table would replicate, e.g. one confidence FSM per value
+ * predictor entry) plus the per-instance current state.
+ */
+
+#ifndef AUTOFSM_FSMGEN_PREDICTOR_FSM_HH
+#define AUTOFSM_FSMGEN_PREDICTOR_FSM_HH
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "automata/dfa.hh"
+
+namespace autofsm
+{
+
+/**
+ * Immutable, densely-packed transition table compiled from a Dfa.
+ * Shareable across any number of PredictorFsm instances.
+ */
+class FsmTable
+{
+  public:
+    explicit FsmTable(const Dfa &dfa);
+
+    int numStates() const { return static_cast<int>(outputs_.size()); }
+    int start() const { return start_; }
+
+    int
+    next(int state, int outcome) const
+    {
+        return next_[static_cast<size_t>(state) * 2 +
+                     static_cast<size_t>(outcome)];
+    }
+
+    int output(int state) const { return outputs_[static_cast<size_t>(state)]; }
+
+  private:
+    std::vector<int> next_;      ///< 2 successors per state, row-major
+    std::vector<uint8_t> outputs_;
+    int start_ = 0;
+};
+
+/** One live instance of a generated predictor. */
+class PredictorFsm
+{
+  public:
+    explicit PredictorFsm(std::shared_ptr<const FsmTable> table)
+        : table_(std::move(table)), state_(table_->start())
+    {}
+
+    /** Build a self-owned instance straight from a Dfa. */
+    explicit PredictorFsm(const Dfa &dfa)
+        : PredictorFsm(std::make_shared<const FsmTable>(dfa))
+    {}
+
+    /** The Moore output of the current state: the prediction. */
+    int predict() const { return table_->output(state_); }
+
+    /** Advance on the actual @p outcome (0 or 1). */
+    void
+    update(int outcome)
+    {
+        assert(outcome == 0 || outcome == 1);
+        state_ = table_->next(state_, outcome);
+    }
+
+    /** Return to the machine's start state. */
+    void reset() { state_ = table_->start(); }
+
+    int state() const { return state_; }
+    int numStates() const { return table_->numStates(); }
+    const FsmTable &table() const { return *table_; }
+    std::shared_ptr<const FsmTable> sharedTable() const { return table_; }
+
+  private:
+    std::shared_ptr<const FsmTable> table_;
+    int state_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_FSMGEN_PREDICTOR_FSM_HH

@@ -1,0 +1,89 @@
+#include "logicmin/cover.hh"
+
+#include <cassert>
+
+namespace autofsm
+{
+
+int
+Cover::literalCount() const
+{
+    int total = 0;
+    for (const auto &cube : cubes_)
+        total += cube.literals();
+    return total;
+}
+
+bool
+Cover::evaluate(uint32_t minterm) const
+{
+    for (const auto &cube : cubes_) {
+        if (cube.contains(minterm))
+            return true;
+    }
+    return false;
+}
+
+bool
+Cover::implements(const TruthTable &table) const
+{
+    assert(table.numVars() == numVars_);
+    const uint32_t limit = 1U << numVars_;
+    for (uint32_t m = 0; m < limit; ++m) {
+        if (table.isDontCare(m))
+            continue;
+        if (evaluate(m) != table.isOn(m))
+            return false;
+    }
+    return true;
+}
+
+bool
+Cover::equivalent(const Cover &other) const
+{
+    if (other.numVars_ != numVars_)
+        return false;
+    const uint32_t limit = 1U << numVars_;
+    for (uint32_t m = 0; m < limit; ++m) {
+        if (evaluate(m) != other.evaluate(m))
+            return false;
+    }
+    return true;
+}
+
+void
+Cover::removeContained()
+{
+    std::vector<Cube> kept;
+    for (size_t i = 0; i < cubes_.size(); ++i) {
+        bool contained = false;
+        for (size_t j = 0; j < cubes_.size() && !contained; ++j) {
+            if (i == j)
+                continue;
+            // Break ties (equal cubes) by keeping the earlier one.
+            if (cubes_[j].covers(cubes_[i]) &&
+                !(cubes_[i] == cubes_[j] && i < j)) {
+                contained = true;
+            }
+        }
+        if (!contained)
+            kept.push_back(cubes_[i]);
+    }
+    cubes_ = std::move(kept);
+}
+
+std::string
+Cover::toString() const
+{
+    if (cubes_.empty())
+        return "0";
+    std::string out;
+    for (size_t i = 0; i < cubes_.size(); ++i) {
+        if (i)
+            out += " | ";
+        out += cubes_[i].toPattern(numVars_);
+    }
+    return out;
+}
+
+} // namespace autofsm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sum-of-products cover and functional checks against a TruthTable.
+ */
+
+#ifndef AUTOFSM_LOGICMIN_COVER_HH
+#define AUTOFSM_LOGICMIN_COVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logicmin/cube.hh"
+#include "logicmin/truth_table.hh"
+
+namespace autofsm
+{
+
+/** A disjunction of cubes: the compact "predict 1" set description. */
+class Cover
+{
+  public:
+    explicit Cover(int num_vars) : numVars_(num_vars) {}
+
+    int numVars() const { return numVars_; }
+
+    void add(const Cube &cube) { cubes_.push_back(cube); }
+
+    const std::vector<Cube> &cubes() const { return cubes_; }
+
+    size_t size() const { return cubes_.size(); }
+
+    bool empty() const { return cubes_.empty(); }
+
+    /** Total literal count across all cubes (two-level cost metric). */
+    int literalCount() const;
+
+    /** Evaluate the function at a fully-specified input. */
+    bool evaluate(uint32_t minterm) const;
+
+    /**
+     * Check that the cover implements the incompletely-specified function:
+     * every ON minterm evaluates to 1 and every OFF minterm to 0
+     * (DC minterms may go either way). O(2^numVars).
+     */
+    bool implements(const TruthTable &table) const;
+
+    /**
+     * Exhaustively compare against @p other on all 2^numVars inputs.
+     */
+    bool equivalent(const Cover &other) const;
+
+    /** Drop cubes single-cube-contained by another cube in the cover. */
+    void removeContained();
+
+    /**
+     * Render as the paper's pattern list, e.g. "1x | x1".
+     * Returns "0" for an empty cover.
+     */
+    std::string toString() const;
+
+  private:
+    int numVars_;
+    std::vector<Cube> cubes_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_LOGICMIN_COVER_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cube representation for two-level logic minimization.
+ *
+ * A cube is a product term over up to 32 binary variables. Variable i is
+ * represented by bit i of two packed words: `mask` selects the variables
+ * the cube cares about (1 = specified), and `value` gives the required
+ * polarity of each specified variable. Unspecified variables ("don't care
+ * inputs", written `x` in the paper's sum-of-products notation) match both
+ * 0 and 1.
+ */
+
+#ifndef AUTOFSM_LOGICMIN_CUBE_HH
+#define AUTOFSM_LOGICMIN_CUBE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+/** A product term over @c numVars binary variables. */
+struct Cube
+{
+    /** Required polarity of each specified variable; subset of mask. */
+    uint32_t value = 0;
+    /** Bit i set iff variable i is specified (a literal of the term). */
+    uint32_t mask = 0;
+
+    Cube() = default;
+
+    Cube(uint32_t value_, uint32_t mask_)
+        : value(value_ & mask_), mask(mask_)
+    {}
+
+    /** Full minterm cube (all variables specified). */
+    static Cube
+    minterm(uint32_t bits, int num_vars)
+    {
+        return Cube(bits, lowMask(num_vars));
+    }
+
+    /** Number of literals (specified variables) in the term. */
+    int literals() const { return popcount(mask); }
+
+    /** True iff the cube matches the fully-specified input @p minterm. */
+    bool
+    contains(uint32_t minterm) const
+    {
+        return (minterm & mask) == value;
+    }
+
+    /** True iff every input matched by @p other is matched by this cube. */
+    bool
+    covers(const Cube &other) const
+    {
+        return (mask & other.mask) == mask &&
+            (other.value & mask) == value;
+    }
+
+    /** True iff some fully-specified input is matched by both cubes. */
+    bool
+    intersects(const Cube &other) const
+    {
+        return ((value ^ other.value) & mask & other.mask) == 0;
+    }
+
+    bool
+    operator==(const Cube &other) const
+    {
+        return value == other.value && mask == other.mask;
+    }
+
+    /**
+     * Quine-McCluskey merge step: two cubes with identical masks whose
+     * values differ in exactly one variable combine into one cube with
+     * that variable dropped.
+     *
+     * @param a First cube.
+     * @param b Second cube (same mask as @p a for a merge to be possible).
+     * @param[out] merged The combined cube on success.
+     * @return True iff the cubes are adjacent and were merged.
+     */
+    static bool
+    tryMerge(const Cube &a, const Cube &b, Cube &merged)
+    {
+        if (a.mask != b.mask)
+            return false;
+        const uint32_t diff = a.value ^ b.value;
+        if (popcount(diff) != 1)
+            return false;
+        merged = Cube(a.value & ~diff, a.mask & ~diff);
+        return true;
+    }
+
+    /**
+     * Render as a pattern string over @p num_vars variables, most
+     * significant variable first, using '0', '1' and 'x'. With the
+     * history convention (bit 0 = most recent outcome) this prints
+     * oldest-to-newest, matching the paper's pattern notation.
+     */
+    std::string
+    toPattern(int num_vars) const
+    {
+        assert(num_vars >= 1 && num_vars <= MaxBits);
+        std::string out(static_cast<size_t>(num_vars), 'x');
+        for (int i = 0; i < num_vars; ++i) {
+            if (!bitOf(mask, num_vars - 1 - i))
+                continue;
+            out[static_cast<size_t>(i)] =
+                bitOf(value, num_vars - 1 - i) ? '1' : '0';
+        }
+        return out;
+    }
+
+    /**
+     * Parse a pattern string of '0'/'1'/'x' (MSB-first) into a cube.
+     */
+    static Cube
+    fromPattern(const std::string &text)
+    {
+        assert(text.size() <= static_cast<size_t>(MaxBits));
+        Cube cube;
+        const int n = static_cast<int>(text.size());
+        for (int i = 0; i < n; ++i) {
+            const char c = text[static_cast<size_t>(i)];
+            const int bit = n - 1 - i;
+            assert(c == '0' || c == '1' || c == 'x' || c == 'X');
+            if (c == '0' || c == '1') {
+                cube.mask |= 1U << bit;
+                if (c == '1')
+                    cube.value |= 1U << bit;
+            }
+        }
+        return cube;
+    }
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_LOGICMIN_CUBE_HH

@@ -1,0 +1,244 @@
+#include "logicmin/espresso.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autofsm
+{
+
+namespace
+{
+
+/** True iff @p cube contains any minterm of the explicit @p off set. */
+bool
+hitsOffSet(const Cube &cube, const std::vector<uint32_t> &off)
+{
+    for (uint32_t m : off) {
+        if (cube.contains(m))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * EXPAND one cube: greedily drop literals while the cube stays inside
+ * ON plus DC. Dropping a literal only grows the cube, so a literal that
+ * cannot be dropped now can never be dropped later; one pass per cube
+ * yields a maximal expansion for the chosen order.
+ */
+Cube
+expand(Cube cube, const std::vector<uint32_t> &off, int num_vars)
+{
+    for (int bit = 0; bit < num_vars; ++bit) {
+        const uint32_t flag = 1U << bit;
+        if (!(cube.mask & flag))
+            continue;
+        Cube widened(cube.value & ~flag, cube.mask & ~flag);
+        if (!hitsOffSet(widened, off))
+            cube = widened;
+    }
+    return cube;
+}
+
+/**
+ * IRREDUNDANT: keep cubes that uniquely cover some ON minterm, then
+ * greedily complete coverage of the rest.
+ *
+ * Gains are maintained incrementally (when a minterm becomes covered,
+ * only the cubes containing it lose gain), keeping the whole pass
+ * near-linear in the size of the coverage relation instead of
+ * rescanning every (cube, minterm) pair per pick.
+ */
+std::vector<Cube>
+irredundant(const std::vector<Cube> &cubes, const std::vector<uint32_t> &on)
+{
+    std::vector<std::vector<size_t>> covering(on.size());
+    std::vector<size_t> gain(cubes.size(), 0);
+    for (size_t m = 0; m < on.size(); ++m) {
+        for (size_t c = 0; c < cubes.size(); ++c) {
+            if (cubes[c].contains(on[m])) {
+                covering[m].push_back(c);
+                ++gain[c];
+            }
+        }
+        assert(!covering[m].empty());
+    }
+
+    std::vector<bool> keep(cubes.size(), false);
+    std::vector<bool> done(on.size(), false);
+    size_t remaining = on.size();
+
+    auto absorb = [&](size_t cube_idx) {
+        keep[cube_idx] = true;
+        for (size_t m = 0; m < on.size(); ++m) {
+            if (!done[m] && cubes[cube_idx].contains(on[m])) {
+                done[m] = true;
+                --remaining;
+                for (size_t c : covering[m])
+                    --gain[c];
+            }
+        }
+    };
+
+    for (size_t m = 0; m < on.size(); ++m) {
+        if (covering[m].size() == 1 && !keep[covering[m][0]])
+            absorb(covering[m][0]);
+    }
+
+    while (remaining > 0) {
+        size_t best = cubes.size();
+        for (size_t c = 0; c < cubes.size(); ++c) {
+            if (keep[c] || gain[c] == 0)
+                continue;
+            if (best == cubes.size() || gain[c] > gain[best])
+                best = c;
+        }
+        // A cube with positive gain always exists while minterms remain
+        // uncovered, because EXPAND/REDUCE preserve coverage; guard
+        // against regressions even in NDEBUG builds rather than spin.
+        assert(best != cubes.size());
+        if (best == cubes.size())
+            break;
+        absorb(best);
+    }
+
+    std::vector<Cube> kept;
+    for (size_t c = 0; c < cubes.size(); ++c) {
+        if (keep[c])
+            kept.push_back(cubes[c]);
+    }
+    return kept;
+}
+
+/**
+ * REDUCE: shrink each cube to the supercube of the ON minterms only it
+ * covers, freeing room for the next EXPAND to head in a different
+ * direction. Cubes with no uniquely-covered minterm are dropped.
+ */
+std::vector<Cube>
+reduce(const std::vector<Cube> &cubes, const std::vector<uint32_t> &on,
+       int num_vars)
+{
+    // Sequential (order-dependent) reduction, as in classic Espresso:
+    // each cube shrinks to the supercube of the ON minterms no *other
+    // current* cube covers. Processing cubes one at a time against the
+    // live cover keeps every ON minterm covered throughout - shrinking
+    // two cubes "simultaneously" away from a minterm they share would
+    // break the cover and deadlock the next IRREDUNDANT pass.
+    std::vector<int> cover_count(on.size(), 0);
+    for (size_t m = 0; m < on.size(); ++m) {
+        for (const auto &cube : cubes)
+            cover_count[m] += cube.contains(on[m]);
+    }
+
+    std::vector<Cube> current = cubes;
+    std::vector<bool> removed(cubes.size(), false);
+    for (size_t c = 0; c < current.size(); ++c) {
+        bool any = false;
+        uint32_t all_and = 0, all_or = 0;
+        for (size_t m = 0; m < on.size(); ++m) {
+            if (cover_count[m] != 1 || !current[c].contains(on[m]))
+                continue;
+            if (!any) {
+                all_and = on[m];
+                all_or = on[m];
+                any = true;
+            } else {
+                all_and &= on[m];
+                all_or |= on[m];
+            }
+        }
+
+        Cube replacement;
+        if (any) {
+            // Smallest cube containing the collected minterms: specify
+            // the variables on which they all agree.
+            const uint32_t agree = ~(all_and ^ all_or) & lowMask(num_vars);
+            replacement = Cube(all_and & agree, agree);
+        } else {
+            removed[c] = true;
+        }
+
+        // Update live coverage counts for the shrink before moving on.
+        for (size_t m = 0; m < on.size(); ++m) {
+            if (!current[c].contains(on[m]))
+                continue;
+            const bool still = !removed[c] && replacement.contains(on[m]);
+            if (!still)
+                --cover_count[m];
+        }
+        if (!removed[c])
+            current[c] = replacement;
+    }
+
+    std::vector<Cube> out;
+    for (size_t c = 0; c < current.size(); ++c) {
+        if (!removed[c])
+            out.push_back(current[c]);
+    }
+    return out;
+}
+
+/** Total literal count of a cube list. */
+int
+costOf(const std::vector<Cube> &cubes)
+{
+    int cost = 0;
+    for (const auto &cube : cubes)
+        cost += cube.literals();
+    return cost;
+}
+
+} // anonymous namespace
+
+Cover
+minimizeEspresso(const TruthTable &table, const EspressoOptions &options)
+{
+    Cover cover(table.numVars());
+    const auto &on = table.onSet();
+    if (on.empty())
+        return cover;
+
+    const std::vector<uint32_t> off = table.offSet();
+
+    std::vector<Cube> cubes;
+    cubes.reserve(on.size());
+    for (uint32_t m : on)
+        cubes.push_back(Cube::minterm(m, table.numVars()));
+
+    std::vector<Cube> best;
+    int best_cost = -1;
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        for (auto &cube : cubes)
+            cube = expand(cube, off, table.numVars());
+        cubes = irredundant(cubes, on);
+
+        const int cost = costOf(cubes);
+        if (best_cost < 0 || cost < best_cost ||
+            (cost == best_cost && cubes.size() < best.size())) {
+            best = cubes;
+            best_cost = cost;
+        } else {
+            break; // converged: no improvement this round
+        }
+
+        cubes = reduce(cubes, on, table.numVars());
+    }
+
+    for (const auto &cube : best)
+        cover.add(cube);
+
+    // Functional safety net (also active in NDEBUG builds): if a
+    // regression ever produced a wrong cover, fall back to the trivial
+    // minterm cover rather than return an incorrect function.
+    if (!cover.implements(table)) {
+        assert(false && "espresso produced a non-implementing cover");
+        Cover fallback(table.numVars());
+        for (uint32_t m : on)
+            fallback.add(Cube::minterm(m, table.numVars()));
+        return fallback;
+    }
+    return cover;
+}
+
+} // namespace autofsm

@@ -1,0 +1,28 @@
+#include "logicmin/minimize.hh"
+
+#include "logicmin/espresso.hh"
+#include "logicmin/quine_mccluskey.hh"
+
+namespace autofsm
+{
+
+Cover
+minimize(const TruthTable &table, MinimizeAlgo algo)
+{
+    switch (algo) {
+      case MinimizeAlgo::Exact:
+        return minimizeQuineMcCluskey(table);
+      case MinimizeAlgo::Heuristic:
+        return minimizeEspresso(table);
+      case MinimizeAlgo::Auto:
+      default:
+        // QM's prime generation can blow up with many ON+DC minterms at
+        // higher variable counts; 8 variables (256 minterms) is well
+        // inside its comfort zone and covers most per-branch models.
+        if (table.numVars() <= 8)
+            return minimizeQuineMcCluskey(table);
+        return minimizeEspresso(table);
+    }
+}
+
+} // namespace autofsm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Front door of the logic-minimization substrate.
+ *
+ * The design flow (Section 4.4) calls this to compress the pattern sets;
+ * it dispatches between the exact and heuristic engines.
+ */
+
+#ifndef AUTOFSM_LOGICMIN_MINIMIZE_HH
+#define AUTOFSM_LOGICMIN_MINIMIZE_HH
+
+#include "logicmin/cover.hh"
+#include "logicmin/truth_table.hh"
+
+namespace autofsm
+{
+
+/** Engine selection for minimize(). */
+enum class MinimizeAlgo
+{
+    /** Exact QM for small inputs, Espresso heuristic otherwise. */
+    Auto,
+    /** Always exact Quine-McCluskey. */
+    Exact,
+    /** Always the Espresso-style heuristic. */
+    Heuristic,
+};
+
+/**
+ * Minimize the incompletely-specified function in @p table.
+ *
+ * @param table ON/DC specification (OFF is implicit).
+ * @param algo Engine selection; Auto uses the exact engine up to
+ *        8 variables and the heuristic beyond that.
+ * @return A cover verified to implement the function.
+ */
+Cover minimize(const TruthTable &table, MinimizeAlgo algo = MinimizeAlgo::Auto);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_LOGICMIN_MINIMIZE_HH

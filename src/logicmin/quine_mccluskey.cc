@@ -1,0 +1,154 @@
+#include "logicmin/quine_mccluskey.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+namespace autofsm
+{
+
+namespace
+{
+
+/** Pack a cube into a single hashable word. */
+uint64_t
+keyOf(const Cube &cube)
+{
+    return (static_cast<uint64_t>(cube.mask) << 32) | cube.value;
+}
+
+} // anonymous namespace
+
+std::vector<Cube>
+primeImplicants(const TruthTable &table)
+{
+    // Generation 0: all ON and DC minterms as fully-specified cubes.
+    std::vector<Cube> current;
+    current.reserve(table.onSet().size() + table.dontCareSet().size());
+    for (uint32_t m : table.onSet())
+        current.push_back(Cube::minterm(m, table.numVars()));
+    for (uint32_t m : table.dontCareSet())
+        current.push_back(Cube::minterm(m, table.numVars()));
+
+    std::vector<Cube> primes;
+    while (!current.empty()) {
+        // Bucket cubes by (mask, ones-count) so only adjacent buckets
+        // need pairwise comparison.
+        std::map<std::pair<uint32_t, int>, std::vector<size_t>> buckets;
+        for (size_t i = 0; i < current.size(); ++i) {
+            buckets[{current[i].mask, popcount(current[i].value)}]
+                .push_back(i);
+        }
+
+        std::vector<bool> combined(current.size(), false);
+        std::vector<Cube> next;
+        std::unordered_set<uint64_t> next_seen;
+
+        for (const auto &[key, indices] : buckets) {
+            const auto other = buckets.find({key.first, key.second + 1});
+            if (other == buckets.end())
+                continue;
+            for (size_t i : indices) {
+                for (size_t j : other->second) {
+                    Cube merged;
+                    if (!Cube::tryMerge(current[i], current[j], merged))
+                        continue;
+                    combined[i] = true;
+                    combined[j] = true;
+                    if (next_seen.insert(keyOf(merged)).second)
+                        next.push_back(merged);
+                }
+            }
+        }
+
+        std::unordered_set<uint64_t> prime_seen;
+        for (const auto &prime : primes)
+            prime_seen.insert(keyOf(prime));
+        for (size_t i = 0; i < current.size(); ++i) {
+            if (!combined[i] && prime_seen.insert(keyOf(current[i])).second)
+                primes.push_back(current[i]);
+        }
+        current = std::move(next);
+    }
+    return primes;
+}
+
+Cover
+minimizeQuineMcCluskey(const TruthTable &table)
+{
+    Cover cover(table.numVars());
+    const auto &on = table.onSet();
+    if (on.empty())
+        return cover;
+
+    const std::vector<Cube> primes = primeImplicants(table);
+
+    // Prime implicant chart over the ON-set only: DC minterms need not be
+    // covered, they only helped grow the primes.
+    std::vector<std::vector<size_t>> covering(on.size());
+    for (size_t m = 0; m < on.size(); ++m) {
+        for (size_t p = 0; p < primes.size(); ++p) {
+            if (primes[p].contains(on[m]))
+                covering[m].push_back(p);
+        }
+        assert(!covering[m].empty() && "every ON minterm has a prime");
+    }
+
+    std::vector<size_t> gain(primes.size(), 0);
+    for (size_t m = 0; m < on.size(); ++m) {
+        for (size_t p : covering[m])
+            ++gain[p];
+    }
+
+    std::vector<bool> chosen(primes.size(), false);
+    std::vector<bool> done(on.size(), false);
+    size_t remaining = on.size();
+
+    // Gains are maintained incrementally: covering a minterm reduces
+    // the gain of every prime containing it.
+    auto absorb = [&](size_t prime_idx) {
+        chosen[prime_idx] = true;
+        for (size_t m = 0; m < on.size(); ++m) {
+            if (!done[m] && primes[prime_idx].contains(on[m])) {
+                done[m] = true;
+                --remaining;
+                for (size_t p : covering[m])
+                    --gain[p];
+            }
+        }
+    };
+
+    // Essential primes: sole cover of some ON minterm.
+    for (size_t m = 0; m < on.size(); ++m) {
+        if (covering[m].size() == 1 && !chosen[covering[m][0]])
+            absorb(covering[m][0]);
+    }
+
+    // Complete the cover greedily: most new minterms, then fewest
+    // literals, then lowest index for determinism.
+    while (remaining > 0) {
+        size_t best = primes.size();
+        for (size_t p = 0; p < primes.size(); ++p) {
+            if (chosen[p] || gain[p] == 0)
+                continue;
+            if (best == primes.size() || gain[p] > gain[best] ||
+                (gain[p] == gain[best] &&
+                 primes[p].literals() < primes[best].literals())) {
+                best = p;
+            }
+        }
+        assert(best != primes.size());
+        absorb(best);
+    }
+
+    for (size_t p = 0; p < primes.size(); ++p) {
+        if (chosen[p])
+            cover.add(primes[p]);
+    }
+
+    assert(cover.implements(table));
+    return cover;
+}
+
+} // namespace autofsm

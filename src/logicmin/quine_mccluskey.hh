@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Exact two-level minimization via the Quine-McCluskey procedure.
+ *
+ * This plays the role Espresso [Rudell 87] plays in the paper's design
+ * flow (Section 4.4): compress the "predict 1" set, folding the
+ * "don't care" set into whichever output minimizes the number of terms.
+ * Prime implicants are generated exactly; the covering step selects all
+ * essential primes and completes the cover greedily (largest uncovered
+ * gain, then fewest literals), which is exact on the small charts the
+ * predictor flow produces and near-minimal otherwise.
+ */
+
+#ifndef AUTOFSM_LOGICMIN_QUINE_MCCLUSKEY_HH
+#define AUTOFSM_LOGICMIN_QUINE_MCCLUSKEY_HH
+
+#include "logicmin/cover.hh"
+#include "logicmin/truth_table.hh"
+
+namespace autofsm
+{
+
+/**
+ * Compute all prime implicants of the function (ON plus DC sets).
+ * Exposed separately for tests and for the covering ablation.
+ */
+std::vector<Cube> primeImplicants(const TruthTable &table);
+
+/**
+ * Minimize @p table exactly.
+ *
+ * @return A cover that implements the function (verified against ON and
+ *         OFF sets); empty when the ON-set is empty.
+ */
+Cover minimizeQuineMcCluskey(const TruthTable &table);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_LOGICMIN_QUINE_MCCLUSKEY_HH

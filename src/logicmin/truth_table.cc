@@ -1,0 +1,67 @@
+#include "logicmin/truth_table.hh"
+
+#include <cassert>
+
+namespace autofsm
+{
+
+TruthTable::TruthTable(int num_vars)
+    : numVars_(num_vars)
+{
+    assert(num_vars >= 1 && num_vars <= MaxBits);
+    // The dense tag map keeps membership queries O(1); pattern-definition
+    // only ever builds tables up to the Markov order (N <= ~12), so the
+    // 2^N bytes are cheap.
+    assert(num_vars <= 24 && "dense truth table would be too large");
+    tag_.assign(1ULL << num_vars, 0);
+}
+
+void
+TruthTable::addOn(uint32_t minterm)
+{
+    assert(minterm < tag_.size());
+    assert(!(tag_[minterm] & TagDc) && "minterm is already a don't-care");
+    if (tag_[minterm] & TagOn)
+        return;
+    tag_[minterm] |= TagOn;
+    on_.push_back(minterm);
+}
+
+void
+TruthTable::addDontCare(uint32_t minterm)
+{
+    assert(minterm < tag_.size());
+    assert(!(tag_[minterm] & TagOn) && "minterm is already in the ON-set");
+    if (tag_[minterm] & TagDc)
+        return;
+    tag_[minterm] |= TagDc;
+    dc_.push_back(minterm);
+}
+
+std::vector<uint32_t>
+TruthTable::offSet() const
+{
+    std::vector<uint32_t> off;
+    off.reserve(tag_.size() - on_.size() - dc_.size());
+    for (uint32_t m = 0; m < tag_.size(); ++m) {
+        if (tag_[m] == 0)
+            off.push_back(m);
+    }
+    return off;
+}
+
+bool
+TruthTable::isOn(uint32_t minterm) const
+{
+    assert(minterm < tag_.size());
+    return tag_[minterm] & TagOn;
+}
+
+bool
+TruthTable::isDontCare(uint32_t minterm) const
+{
+    assert(minterm < tag_.size());
+    return tag_[minterm] & TagDc;
+}
+
+} // namespace autofsm

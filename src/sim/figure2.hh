@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Driver for the Figure 2 experiment: value-prediction confidence,
+ * accuracy vs coverage, SUD counter sweep against cross-trained custom
+ * FSM curves for history lengths 2-10.
+ */
+
+#ifndef AUTOFSM_SIM_FIGURE2_HH
+#define AUTOFSM_SIM_FIGURE2_HH
+
+#include <string>
+#include <vector>
+
+#include "vpred/conf_sim.hh"
+
+namespace autofsm
+{
+
+/** One accuracy/coverage point. */
+struct ParetoPoint
+{
+    double accuracy = 0.0;
+    double coverage = 0.0;
+    std::string label;
+};
+
+/** One labelled series of points (e.g. "custom w/ hist=4"). */
+struct ParetoSeries
+{
+    std::string label;
+    std::vector<ParetoPoint> points;
+};
+
+/** Figure 2 panel for one benchmark. */
+struct Fig2Benchmark
+{
+    std::string name;
+    /** Scatter of saturating up/down counter configurations. */
+    std::vector<ParetoPoint> sudPoints;
+    /** One curve per FSM history length, swept over the threshold. */
+    std::vector<ParetoSeries> fsmCurves;
+};
+
+/** Experiment knobs. */
+struct Fig2Options
+{
+    /** Dynamic loads simulated per benchmark run. */
+    size_t loadsPerBenchmark = 200000;
+    /** FSM history lengths (the paper plots 2, 4, 6, 8, 10). */
+    std::vector<int> histories = {2, 4, 6, 8, 10};
+    /** Predict-1 thresholds swept to trace each FSM curve. */
+    std::vector<double> thresholds = {0.50, 0.60, 0.70, 0.80,
+                                      0.90, 0.95, 0.98};
+    /** SUD sweep: paper's max values, decrements and thresholds. */
+    std::vector<int> sudMax = {5, 10, 20, 40};
+    /** Decrements; -1 encodes "full" (reset). */
+    std::vector<int> sudDecrement = {1, 2, 5, 10, -1};
+    std::vector<double> sudThresholdFrac = {0.5, 0.8, 0.9};
+    StrideConfig stride;
+};
+
+/**
+ * Run the Figure 2 experiment for @p benchmark (one of
+ * valueBenchmarkNames()). FSM estimators are cross-trained: the Markov
+ * models aggregate every *other* benchmark's per-entry correctness
+ * streams, never the reported benchmark's own.
+ */
+Fig2Benchmark runFigure2(const std::string &benchmark,
+                         const Fig2Options &options = {});
+
+/** Run all five benchmarks. */
+std::vector<Fig2Benchmark> runFigure2All(const Fig2Options &options = {});
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SIM_FIGURE2_HH

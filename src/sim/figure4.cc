@@ -1,0 +1,34 @@
+#include "sim/figure4.hh"
+
+#include "bpred/trainer.hh"
+#include "support/rng.hh"
+#include "workloads/branch_workloads.hh"
+
+namespace autofsm
+{
+
+Fig4Result
+runFigure4(const Fig4Options &options)
+{
+    Fig4Result result;
+    Rng rng(options.seed);
+
+    for (const std::string &name : branchBenchmarkNames()) {
+        const BranchTrace trace = makeBranchTrace(
+            name, WorkloadInput::Train, options.branchesPerRun);
+        CustomTrainingOptions training;
+        training.historyLength = options.historyLength;
+        training.maxCustomBranches = options.fsmsPerBenchmark;
+        const auto trained = trainCustomPredictors(trace, training);
+        for (const auto &branch : trained) {
+            if (rng.uniform() <= options.sampleFraction)
+                result.samples.push_back(
+                    estimateFsmArea(branch.design.fsm));
+        }
+    }
+
+    result.fit = fitAreaLine(result.samples);
+    return result;
+}
+
+} // namespace autofsm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Driver for the Figure 4 experiment: implementation area vs state
+ * count over a random sample of the custom FSM predictors generated
+ * across all branch benchmarks, plus the linear fit the paper reuses
+ * for all later area numbers.
+ */
+
+#ifndef AUTOFSM_SIM_FIGURE4_HH
+#define AUTOFSM_SIM_FIGURE4_HH
+
+#include <vector>
+
+#include "support/stats.hh"
+#include "synth/area.hh"
+
+namespace autofsm
+{
+
+/** Figure 4 data: the sampled machines and the fitted trend line. */
+struct Fig4Result
+{
+    std::vector<AreaEstimate> samples;
+    LineFit fit;
+};
+
+/** Experiment knobs. */
+struct Fig4Options
+{
+    /** Dynamic branches per training run. */
+    size_t branchesPerRun = 400000;
+    /** FSMs trained per benchmark (all are candidates for sampling). */
+    int fsmsPerBenchmark = 12;
+    /**
+     * Fraction of generated machines to synthesize. The paper samples
+     * 10% of a large population; with our smaller population the
+     * default keeps every machine.
+     */
+    double sampleFraction = 1.0;
+    /** Sampling seed. */
+    uint64_t seed = 0xF16;
+    /** Global history length for training (paper: 9). */
+    int historyLength = 9;
+};
+
+/**
+ * Train custom FSMs for every branch benchmark, sample them, and
+ * estimate each sampled machine's area with the synthesis cost model.
+ */
+Fig4Result runFigure4(const Fig4Options &options = {});
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SIM_FIGURE4_HH

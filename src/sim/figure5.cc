@@ -1,0 +1,148 @@
+#include "sim/figure5.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "bpred/custom.hh"
+#include "bpred/gshare.hh"
+#include "bpred/local_global.hh"
+#include "bpred/simulate.hh"
+#include "synth/area.hh"
+#include "workloads/branch_workloads.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+/**
+ * Evaluate the whole custom curve in one pass. Custom entries are
+ * independent of the BTB and of each other (they only read the global
+ * outcome stream), so one simulation with all K machines live yields
+ * every k-entry configuration: the k-entry design's mispredictions are
+ * the baseline's, minus the savings of the first k machines.
+ */
+AreaMissSeries
+customCurve(const std::vector<TrainedBranch> &trained,
+            const BranchTrace &trace, const BtbConfig &btb_config,
+            const std::string &label, const AreaCosts &costs)
+{
+    XScaleBtb btb(btb_config, costs);
+    std::vector<PredictorFsm> machines;
+    std::unordered_map<uint64_t, size_t> machine_of;
+    machines.reserve(trained.size());
+    for (size_t i = 0; i < trained.size(); ++i) {
+        machines.emplace_back(trained[i].design.fsm);
+        machine_of.emplace(trained[i].pc, i);
+    }
+
+    uint64_t btb_misses_total = 0;
+    std::vector<uint64_t> btb_misses(trained.size(), 0);
+    std::vector<uint64_t> fsm_misses(trained.size(), 0);
+
+    for (const auto &record : trace) {
+        const bool btb_pred = btb.predict(record.pc);
+        const bool btb_wrong = btb_pred != record.taken;
+        btb_misses_total += btb_wrong;
+
+        const auto it = machine_of.find(record.pc);
+        if (it != machine_of.end()) {
+            btb_misses[it->second] += btb_wrong;
+            const bool fsm_pred =
+                machines[it->second].predict() != 0;
+            fsm_misses[it->second] += fsm_pred != record.taken;
+        }
+
+        btb.update(record.pc, record.taken);
+        for (auto &machine : machines)
+            machine.update(record.taken ? 1 : 0);
+    }
+
+    const double total =
+        static_cast<double>(trace.size() ? trace.size() : 1);
+    const CustomEntryConfig entry_config;
+
+    AreaMissSeries series;
+    series.label = label;
+    double area = btb.area();
+    uint64_t misses = btb_misses_total;
+    for (size_t k = 0; k < trained.size(); ++k) {
+        // Adding machine k replaces the BTB's prediction for its branch.
+        misses -= btb_misses[k];
+        misses += fsm_misses[k];
+        area += entry_config.tagBits * costs.camBit +
+            entry_config.targetBits * costs.sramBit +
+            estimateFsmArea(trained[k].design.fsm, costs).area;
+        series.points.push_back(
+            {area, static_cast<double>(misses) / total,
+             std::to_string(k + 1) + " fsm"});
+    }
+    return series;
+}
+
+} // anonymous namespace
+
+Fig5Benchmark
+runFigure5(const std::string &benchmark, const Fig5Options &options)
+{
+    const AreaCosts costs;
+    Fig5Benchmark result;
+    result.name = benchmark;
+
+    const BranchTrace train = makeBranchTrace(
+        benchmark, WorkloadInput::Train, options.branchesPerRun);
+    const BranchTrace test = makeBranchTrace(
+        benchmark, WorkloadInput::Test, options.branchesPerRun);
+
+    // Baseline XScale point (reported on the test input).
+    {
+        XScaleBtb btb(options.training.baseline, costs);
+        const BpredSimResult r = simulateBranchPredictor(btb, test);
+        result.xscale = {btb.area(), r.missRate(), btb.name()};
+    }
+
+    // gshare size sweep.
+    result.gshare.label = "gshare";
+    for (int log2 : options.gshareLog2) {
+        GshareConfig config;
+        config.log2Entries = log2;
+        config.historyBits = std::min(log2, 16);
+        Gshare predictor(config, costs);
+        const BpredSimResult r = simulateBranchPredictor(predictor, test);
+        result.gshare.points.push_back(
+            {predictor.area(), r.missRate(), predictor.name()});
+    }
+
+    // LGC size sweep.
+    result.lgc.label = "lgc";
+    for (int log2 : options.lgcLog2) {
+        LgcConfig config;
+        config.log2Entries = log2;
+        LocalGlobalChooser predictor(config, costs);
+        const BpredSimResult r = simulateBranchPredictor(predictor, test);
+        result.lgc.points.push_back(
+            {predictor.area(), r.missRate(), predictor.name()});
+    }
+
+    // Custom curves: train on the Train input only.
+    result.trained = trainCustomPredictors(train, options.training);
+    result.customSame = customCurve(result.trained, train,
+                                    options.training.baseline,
+                                    "custom-same", costs);
+    result.customDiff = customCurve(result.trained, test,
+                                    options.training.baseline,
+                                    "custom-diff", costs);
+    return result;
+}
+
+std::vector<Fig5Benchmark>
+runFigure5All(const Fig5Options &options)
+{
+    std::vector<Fig5Benchmark> all;
+    for (const std::string &name : branchBenchmarkNames())
+        all.push_back(runFigure5(name, options));
+    return all;
+}
+
+} // namespace autofsm

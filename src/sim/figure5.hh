@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Driver for the Figure 5 experiment: misprediction rate vs estimated
+ * area for the XScale baseline, gshare, the local/global chooser and
+ * the customized architecture (custom-same and custom-diff curves).
+ */
+
+#ifndef AUTOFSM_SIM_FIGURE5_HH
+#define AUTOFSM_SIM_FIGURE5_HH
+
+#include <string>
+#include <vector>
+
+#include "bpred/trainer.hh"
+
+namespace autofsm
+{
+
+/** One (area, misprediction-rate) point. */
+struct AreaMissPoint
+{
+    double area = 0.0;
+    double missRate = 0.0;
+    std::string label;
+};
+
+/** One labelled predictor family curve. */
+struct AreaMissSeries
+{
+    std::string label;
+    std::vector<AreaMissPoint> points;
+};
+
+/** Figure 5 panel for one benchmark. */
+struct Fig5Benchmark
+{
+    std::string name;
+    AreaMissPoint xscale;
+    AreaMissSeries gshare;
+    AreaMissSeries lgc;
+    AreaMissSeries customSame;
+    AreaMissSeries customDiff;
+    /** The trained branches backing the custom curves (for Figure 4). */
+    std::vector<TrainedBranch> trained;
+};
+
+/** Experiment knobs. */
+struct Fig5Options
+{
+    /** Dynamic branches simulated per run. */
+    size_t branchesPerRun = 400000;
+    /** gshare table sizes (log2 counters). */
+    std::vector<int> gshareLog2 = {8, 10, 12, 14, 16};
+    /** LGC sizes (log2 entries per structure). */
+    std::vector<int> lgcLog2 = {8, 10, 12, 13};
+    /** Custom-curve training knobs (history 9, as in the paper). */
+    CustomTrainingOptions training;
+};
+
+/**
+ * Run the Figure 5 experiment for one benchmark of
+ * branchBenchmarkNames(). Custom FSMs are trained on the Train input;
+ * custom-diff evaluates them on the Test input, custom-same on the
+ * Train input itself.
+ */
+Fig5Benchmark runFigure5(const std::string &benchmark,
+                         const Fig5Options &options = {});
+
+/** Run all six benchmarks. */
+std::vector<Fig5Benchmark> runFigure5All(const Fig5Options &options = {});
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SIM_FIGURE5_HH

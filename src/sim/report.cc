@@ -1,0 +1,94 @@
+#include "sim/report.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace autofsm
+{
+
+namespace
+{
+
+void
+printSeriesHeader(std::ostream &out, const std::string &title)
+{
+    out << "-- " << title << " --\n";
+}
+
+} // anonymous namespace
+
+void
+printFig2(std::ostream &out, const Fig2Benchmark &benchmark)
+{
+    out << "== Figure 2: value prediction confidence [" << benchmark.name
+        << "] ==\n";
+    printSeriesHeader(out, "saturating up/down counters");
+    out << std::fixed << std::setprecision(2);
+    out << std::setw(34) << "config" << std::setw(12) << "accuracy"
+        << std::setw(12) << "coverage" << "\n";
+    for (const auto &point : benchmark.sudPoints) {
+        out << std::setw(34) << point.label << std::setw(11)
+            << point.accuracy * 100.0 << "%" << std::setw(11)
+            << point.coverage * 100.0 << "%\n";
+    }
+    for (const auto &series : benchmark.fsmCurves) {
+        printSeriesHeader(out, series.label);
+        out << std::setw(34) << "threshold" << std::setw(12) << "accuracy"
+            << std::setw(12) << "coverage" << "\n";
+        for (const auto &point : series.points) {
+            out << std::setw(34) << point.label << std::setw(11)
+                << point.accuracy * 100.0 << "%" << std::setw(11)
+                << point.coverage * 100.0 << "%\n";
+        }
+    }
+    out << "\n";
+}
+
+void
+printFig4(std::ostream &out, const Fig4Result &result)
+{
+    out << "== Figure 4: area vs number of states ==\n";
+    out << std::setw(10) << "states" << std::setw(10) << "flops"
+        << std::setw(10) << "terms" << std::setw(10) << "literals"
+        << std::setw(12) << "area" << "\n";
+    out << std::fixed << std::setprecision(1);
+    for (const auto &sample : result.samples) {
+        out << std::setw(10) << sample.states << std::setw(10)
+            << sample.flops << std::setw(10) << sample.terms
+            << std::setw(10) << sample.literals << std::setw(12)
+            << sample.area << "\n";
+    }
+    out << std::setprecision(3);
+    out << "linear fit: area = " << result.fit.slope << " * states + "
+        << result.fit.intercept << "  (r^2 = " << result.fit.r2 << ")\n\n";
+}
+
+void
+printFig5(std::ostream &out, const Fig5Benchmark &benchmark)
+{
+    out << "== Figure 5: misprediction rate vs estimated area ["
+        << benchmark.name << "] ==\n";
+    out << std::fixed << std::setprecision(2);
+    out << std::setw(16) << "series" << std::setw(18) << "config"
+        << std::setw(12) << "area" << std::setw(12) << "miss" << "\n";
+
+    auto row = [&out](const std::string &series, const AreaMissPoint &p) {
+        out << std::setw(16) << series << std::setw(18) << p.label
+            << std::setw(12) << std::setprecision(0) << p.area
+            << std::setw(11) << std::setprecision(2) << p.missRate * 100.0
+            << "%\n";
+    };
+
+    row("xscale", benchmark.xscale);
+    for (const auto &p : benchmark.gshare.points)
+        row(benchmark.gshare.label, p);
+    for (const auto &p : benchmark.lgc.points)
+        row(benchmark.lgc.label, p);
+    for (const auto &p : benchmark.customSame.points)
+        row(benchmark.customSame.label, p);
+    for (const auto &p : benchmark.customDiff.points)
+        row(benchmark.customDiff.label, p);
+    out << "\n";
+}
+
+} // namespace autofsm

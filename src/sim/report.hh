@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Plain-text reporting of the experiment results: fixed-width tables
+ * whose rows/series mirror the paper's figures, consumed by the bench
+ * binaries and examples.
+ */
+
+#ifndef AUTOFSM_SIM_REPORT_HH
+#define AUTOFSM_SIM_REPORT_HH
+
+#include <iosfwd>
+
+#include "sim/figure2.hh"
+#include "sim/figure4.hh"
+#include "sim/figure5.hh"
+
+namespace autofsm
+{
+
+/** Print one Figure 2 panel (accuracy/coverage table). */
+void printFig2(std::ostream &out, const Fig2Benchmark &benchmark);
+
+/** Print the Figure 4 scatter and fitted line. */
+void printFig4(std::ostream &out, const Fig4Result &result);
+
+/** Print one Figure 5 panel (area / miss-rate series). */
+void printFig5(std::ostream &out, const Fig5Benchmark &benchmark);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SIM_REPORT_HH

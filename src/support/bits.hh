@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the library.
+ *
+ * Histories, logic-minimization cubes and state encodings all manipulate
+ * packed bit vectors of at most 32 bits; these helpers keep that code
+ * readable and bounds-checked in one place.
+ */
+
+#ifndef AUTOFSM_SUPPORT_BITS_HH
+#define AUTOFSM_SUPPORT_BITS_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace autofsm
+{
+
+/** Maximum history/variable width supported by the packed representations. */
+inline constexpr int MaxBits = 32;
+
+/** All-ones mask of the low @p n bits (n in [0, 32]). */
+inline constexpr uint32_t
+lowMask(int n)
+{
+    return n >= MaxBits ? 0xffffffffU : ((1U << n) - 1U);
+}
+
+/** Extract bit @p pos (0 = least significant) of @p value. */
+inline constexpr int
+bitOf(uint32_t value, int pos)
+{
+    return static_cast<int>((value >> pos) & 1U);
+}
+
+/** Number of set bits. */
+inline constexpr int
+popcount(uint32_t value)
+{
+    return __builtin_popcount(value);
+}
+
+/** Ceiling of log2; bits needed to index @p n distinct values (n >= 1). */
+inline constexpr int
+ceilLog2(uint32_t n)
+{
+    int bits = 0;
+    uint32_t cap = 1;
+    while (cap < n) {
+        cap <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/**
+ * Render the low @p width bits of @p value as a binary string, most
+ * significant bit first. Used for history patterns in logs and DOT output.
+ */
+inline std::string
+toBinary(uint32_t value, int width)
+{
+    assert(width >= 0 && width <= MaxBits);
+    std::string out(static_cast<size_t>(width), '0');
+    for (int i = 0; i < width; ++i) {
+        if (bitOf(value, width - 1 - i))
+            out[static_cast<size_t>(i)] = '1';
+    }
+    return out;
+}
+
+/**
+ * Parse a binary pattern string (MSB first) of '0'/'1' into a value.
+ * Characters other than '0'/'1' are rejected by assertion.
+ */
+inline uint32_t
+fromBinary(const std::string &text)
+{
+    assert(text.size() <= static_cast<size_t>(MaxBits));
+    uint32_t value = 0;
+    for (char c : text) {
+        assert(c == '0' || c == '1');
+        value = (value << 1) | static_cast<uint32_t>(c == '1');
+    }
+    return value;
+}
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SUPPORT_BITS_HH

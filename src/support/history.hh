@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shift-register history used by predictors and the Markov modeler.
+ */
+
+#ifndef AUTOFSM_SUPPORT_HISTORY_HH
+#define AUTOFSM_SUPPORT_HISTORY_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+/**
+ * Fixed-width binary shift register.
+ *
+ * Bit 0 holds the most recent outcome; bit (width-1) the oldest retained
+ * one. `value()` therefore reads, MSB-first, as "oldest ... newest", which
+ * matches the left-to-right pattern notation used in the paper (a pattern
+ * "10" means the older outcome was 1 and the newer 0).
+ */
+class HistoryRegister
+{
+  public:
+    explicit HistoryRegister(int width)
+        : width_(width), bits_(0), seen_(0)
+    {
+        assert(width >= 1 && width <= MaxBits);
+    }
+
+    /** Shift in a new outcome (0 or 1) as the most recent bit. */
+    void
+    push(int outcome)
+    {
+        assert(outcome == 0 || outcome == 1);
+        bits_ = ((bits_ << 1) | static_cast<uint32_t>(outcome)) &
+            lowMask(width_);
+        if (seen_ < width_)
+            ++seen_;
+    }
+
+    /** Packed history; bit 0 is the most recent outcome. */
+    uint32_t value() const { return bits_; }
+
+    /** Configured width in bits. */
+    int width() const { return width_; }
+
+    /** True once at least `width` outcomes have been pushed. */
+    bool warm() const { return seen_ >= width_; }
+
+    /** Clear contents and the warm-up counter. */
+    void
+    reset()
+    {
+        bits_ = 0;
+        seen_ = 0;
+    }
+
+  private:
+    int width_;
+    uint32_t bits_;
+    int seen_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SUPPORT_HISTORY_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All synthetic workloads in this repository must be exactly reproducible
+ * across runs and platforms, so we use a self-contained xoshiro256**
+ * implementation instead of std::mt19937 (whose distributions are not
+ * guaranteed to be portable).
+ */
+
+#ifndef AUTOFSM_SUPPORT_RNG_HH
+#define AUTOFSM_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace autofsm
+{
+
+/**
+ * xoshiro256** 1.0 pseudo-random generator (Blackman & Vigna).
+ *
+ * Seeded through splitmix64 so that any 64-bit seed, including 0, yields a
+ * well-mixed state. The generator is deliberately minimal: the workload
+ * models only need uniform integers, uniform doubles in [0,1), and
+ * Bernoulli draws.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Reset the generator state from @p seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the four state words.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection-free multiply-shift reduction; bias is negligible for
+        // the bounds used by workload models (all far below 2^32).
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SUPPORT_RNG_HH

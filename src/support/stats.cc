@@ -1,0 +1,78 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace autofsm
+{
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+LineFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    LineFit fit;
+    const size_t n = xs.size();
+    if (n == 0)
+        return fit;
+
+    double sx = 0.0, sy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / static_cast<double>(n);
+    const double my = sy / static_cast<double>(n);
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+
+    if (n < 2 || sxx == 0.0) {
+        fit.intercept = my;
+        return fit;
+    }
+
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    if (syy > 0.0) {
+        const double residual = syy - fit.slope * sxy;
+        fit.r2 = 1.0 - residual / syy;
+        fit.r2 = std::max(0.0, std::min(1.0, fit.r2));
+    } else {
+        fit.r2 = 1.0;
+    }
+    return fit;
+}
+
+} // namespace autofsm

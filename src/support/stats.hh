@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Running statistics and least-squares fitting.
+ *
+ * The area model of Section 7.4 fits a straight line through
+ * (state-count, area) samples; RunningStats backs the various rate
+ * counters reported by the simulators.
+ */
+
+#ifndef AUTOFSM_SUPPORT_STATS_HH
+#define AUTOFSM_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace autofsm
+{
+
+/** Streaming mean/variance/min/max accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations added. */
+    uint64_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest observation; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Result of an ordinary least-squares line fit y = slope * x + intercept. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination in [0,1]; 1 for a perfect fit. */
+    double r2 = 0.0;
+
+    /** Predicted y at @p x. */
+    double at(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Ordinary least squares over paired samples.
+ *
+ * @param xs Sample abscissae.
+ * @param ys Sample ordinates; must be the same length as @p xs.
+ * @return The fitted line; a degenerate input (fewer than two points or
+ *         zero x-variance) yields a horizontal line through the mean.
+ */
+LineFit fitLine(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Ratio helper that maps 0/0 to 0 instead of NaN. */
+inline double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SUPPORT_STATS_HH

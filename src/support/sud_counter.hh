@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Saturating up/down (SUD) counters (Section 3.1).
+ *
+ * The four defining values of the paper's SUD counter: saturation
+ * threshold (max), correct increment, wrong decrement, and prediction
+ * threshold. The classic 2-bit branch counter and every confidence
+ * counter configuration of Figure 2 are instances. A "full" wrong
+ * decrement (reset to zero on a miss) gives the resetting counters of
+ * Jacobsen et al.
+ */
+
+#ifndef AUTOFSM_SUPPORT_SUD_COUNTER_HH
+#define AUTOFSM_SUPPORT_SUD_COUNTER_HH
+
+#include <cassert>
+
+namespace autofsm
+{
+
+/** Configuration of a saturating up/down counter. */
+struct SudConfig
+{
+    int max = 3;       ///< saturation threshold (counter range [0, max])
+    int increment = 1; ///< added on a 1 (correct / taken)
+    int decrement = 1; ///< subtracted on a 0; >= max+1 acts as a reset
+    int threshold = 2; ///< predict 1 / high-confidence iff value >= this
+
+    /** The ubiquitous 2-bit branch counter. */
+    static SudConfig
+    twoBit()
+    {
+        return {3, 1, 1, 2};
+    }
+
+    /** Resetting counter: any miss clears the count. */
+    static SudConfig
+    resetting(int max, int threshold)
+    {
+        return {max, 1, max + 1, threshold};
+    }
+};
+
+/** One SUD counter instance. */
+class SudCounter
+{
+  public:
+    explicit SudCounter(const SudConfig &config, int initial = 0)
+        : config_(config), value_(initial)
+    {
+        assert(config.max >= 1);
+        assert(config.increment >= 1 && config.decrement >= 1);
+        assert(config.threshold >= 0 && config.threshold <= config.max + 1);
+        assert(initial >= 0 && initial <= config.max);
+    }
+
+    /** Current prediction / confidence decision. */
+    bool predict() const { return value_ >= config_.threshold; }
+
+    /** Advance on the observed @p outcome. */
+    void
+    update(bool outcome)
+    {
+        if (outcome) {
+            value_ += config_.increment;
+            if (value_ > config_.max)
+                value_ = config_.max;
+        } else {
+            value_ -= config_.decrement;
+            if (value_ < 0)
+                value_ = 0;
+        }
+    }
+
+    int value() const { return value_; }
+    const SudConfig &config() const { return config_; }
+
+  private:
+    SudConfig config_;
+    int value_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SUPPORT_SUD_COUNTER_HH

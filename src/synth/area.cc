@@ -1,0 +1,92 @@
+#include "synth/area.hh"
+
+#include <cassert>
+
+#include "logicmin/espresso.hh"
+#include "logicmin/minimize.hh"
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+AreaEstimate
+estimateFsmArea(const Dfa &fsm, const AreaCosts &costs)
+{
+    AreaEstimate est;
+    est.states = fsm.numStates();
+
+    const int n = fsm.numStates();
+    if (n <= 1) {
+        // Constant predictor: a wire, no sequential logic at all.
+        est.area = costs.output;
+        return est;
+    }
+
+    const int k = ceilLog2(static_cast<uint32_t>(n));
+    est.flops = k;
+
+    // Next-state logic: k functions of (k state bits + 1 input bit).
+    // Input encoding: bits [0, k) = current state code, bit k = din.
+    // Codes >= n never occur and are don't-cares for every function.
+    EspressoOptions quick;
+    quick.maxIterations = 2; // area estimation favors speed
+
+    for (int bit = 0; bit < k; ++bit) {
+        TruthTable table(k + 1);
+        for (int s = 0; s < (1 << k); ++s) {
+            for (int din = 0; din < 2; ++din) {
+                const uint32_t row = static_cast<uint32_t>(s) |
+                    (static_cast<uint32_t>(din) << k);
+                if (s >= n) {
+                    table.addDontCare(row);
+                } else if (bitOf(static_cast<uint32_t>(fsm.next(s, din)),
+                                 bit)) {
+                    table.addOn(row);
+                }
+            }
+        }
+        const Cover cover = minimizeEspresso(table, quick);
+        est.terms += static_cast<int>(cover.size());
+        est.literals += cover.literalCount();
+    }
+
+    // Moore output: one function of the k state bits.
+    {
+        TruthTable table(k);
+        for (int s = 0; s < (1 << k); ++s) {
+            if (s >= n)
+                table.addDontCare(static_cast<uint32_t>(s));
+            else if (fsm.output(s))
+                table.addOn(static_cast<uint32_t>(s));
+        }
+        const Cover cover = minimizeEspresso(table, quick);
+        est.terms += static_cast<int>(cover.size());
+        est.literals += cover.literalCount();
+    }
+
+    est.area = costs.flop * est.flops + costs.term * est.terms +
+        costs.literal * est.literals + costs.output;
+    return est;
+}
+
+double
+tableArea(double bits, const AreaCosts &costs)
+{
+    assert(bits >= 0.0);
+    return bits * costs.sramBit;
+}
+
+LineFit
+fitAreaLine(const std::vector<AreaEstimate> &samples)
+{
+    std::vector<double> xs, ys;
+    xs.reserve(samples.size());
+    ys.reserve(samples.size());
+    for (const auto &sample : samples) {
+        xs.push_back(static_cast<double>(sample.states));
+        ys.push_back(sample.area);
+    }
+    return fitLine(xs, ys);
+}
+
+} // namespace autofsm

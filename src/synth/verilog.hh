@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Synthesizable Verilog emission for generated FSM predictors.
+ *
+ * Companion to the VHDL writer (Section 4.8): the same two-process
+ * Moore template in Verilog-2001, for flows that prefer it. Both
+ * emitters are co-simulated against the source machine in tests.
+ */
+
+#ifndef AUTOFSM_SYNTH_VERILOG_HH
+#define AUTOFSM_SYNTH_VERILOG_HH
+
+#include <string>
+
+#include "automata/dfa.hh"
+
+namespace autofsm
+{
+
+/** Options for the Verilog writer. */
+struct VerilogOptions
+{
+    /** Module name; must be a valid Verilog identifier. */
+    std::string moduleName = "fsm_predictor";
+};
+
+/**
+ * Render @p fsm as a synthesizable Verilog-2001 module.
+ *
+ * Ports: clk, rst (synchronous), din, pred; binary state encoding.
+ */
+std::string toVerilog(const Dfa &fsm, const VerilogOptions &options = {});
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SYNTH_VERILOG_HH

@@ -1,0 +1,18 @@
+#include "trace/branch_trace.hh"
+
+namespace autofsm
+{
+
+BranchProfile
+profileTrace(const BranchTrace &trace)
+{
+    BranchProfile profile;
+    for (const auto &record : trace) {
+        auto &entry = profile[record.pc];
+        entry.executions += 1;
+        entry.taken += record.taken ? 1 : 0;
+    }
+    return profile;
+}
+
+} // namespace autofsm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Branch behavior traces.
+ *
+ * The unit of exchange between workload models and the branch-prediction
+ * simulators: a time-ordered sequence of (pc, outcome) records, the same
+ * information an ATOM/Pin-style instrumentation pass would deliver.
+ */
+
+#ifndef AUTOFSM_TRACE_BRANCH_TRACE_HH
+#define AUTOFSM_TRACE_BRANCH_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace autofsm
+{
+
+/** One dynamic conditional branch. */
+struct BranchRecord
+{
+    uint64_t pc = 0;  ///< static branch address
+    bool taken = false;
+};
+
+/** A whole program run's worth of dynamic branches. */
+using BranchTrace = std::vector<BranchRecord>;
+
+/** Per-static-branch execution summary. */
+struct BranchProfileEntry
+{
+    uint64_t executions = 0;
+    uint64_t taken = 0;
+};
+
+/** Static-branch profile: pc -> summary, ordered by pc. */
+using BranchProfile = std::map<uint64_t, BranchProfileEntry>;
+
+/** Summarize @p trace per static branch. */
+BranchProfile profileTrace(const BranchTrace &trace);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_TRACE_BRANCH_TRACE_HH

@@ -1,0 +1,178 @@
+#include "trace/simpoint.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "support/rng.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+/** Normalized per-interval frequency vector over static branches. */
+using Signature = std::vector<double>;
+
+/** Squared Euclidean distance. */
+double
+distance2(const Signature &a, const Signature &b)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+/** Build one signature per interval: (pc, taken)-bucket frequencies. */
+std::vector<Signature>
+buildSignatures(const BranchTrace &trace, size_t interval_size)
+{
+    // Dimension assignment: every (static branch, direction) pair gets
+    // a coordinate; including the direction makes phases with the same
+    // footprint but different behavior separable.
+    std::map<std::pair<uint64_t, bool>, size_t> dims;
+    for (const auto &record : trace)
+        dims.emplace(std::make_pair(record.pc, record.taken),
+                     dims.size());
+
+    std::vector<Signature> signatures;
+    const size_t intervals = trace.size() / interval_size;
+    signatures.reserve(intervals);
+    for (size_t i = 0; i < intervals; ++i) {
+        Signature sig(dims.size(), 0.0);
+        for (size_t j = 0; j < interval_size; ++j) {
+            const auto &record = trace[i * interval_size + j];
+            sig[dims.at({record.pc, record.taken})] += 1.0;
+        }
+        for (double &x : sig)
+            x /= static_cast<double>(interval_size);
+        signatures.push_back(std::move(sig));
+    }
+    return signatures;
+}
+
+} // anonymous namespace
+
+std::vector<SimPoint>
+selectSimPoints(const BranchTrace &trace, const SimPointOptions &options)
+{
+    assert(options.intervalSize > 0 && options.clusters >= 1);
+    const std::vector<Signature> signatures =
+        buildSignatures(trace, options.intervalSize);
+    if (signatures.empty())
+        return {};
+
+    const size_t n = signatures.size();
+    const size_t k = std::min(static_cast<size_t>(options.clusters), n);
+
+    // k-means++-style seeding: first centroid random, then farthest-
+    // point heuristic (deterministic given the seed).
+    Rng rng(options.seed);
+    std::vector<Signature> centroids;
+    centroids.push_back(signatures[rng.below(n)]);
+    while (centroids.size() < k) {
+        size_t far = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+            double nearest = distance2(signatures[i], centroids[0]);
+            for (size_t c = 1; c < centroids.size(); ++c) {
+                nearest = std::min(nearest,
+                                   distance2(signatures[i], centroids[c]));
+            }
+            if (nearest > far_d) {
+                far_d = nearest;
+                far = i;
+            }
+        }
+        centroids.push_back(signatures[far]);
+    }
+
+    // Lloyd iterations.
+    std::vector<size_t> assignment(n, 0);
+    for (int iter = 0; iter < options.iterations; ++iter) {
+        bool moved = false;
+        for (size_t i = 0; i < n; ++i) {
+            size_t best = 0;
+            double best_d = distance2(signatures[i], centroids[0]);
+            for (size_t c = 1; c < k; ++c) {
+                const double d = distance2(signatures[i], centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assignment[i] != best) {
+                assignment[i] = best;
+                moved = true;
+            }
+        }
+        if (!moved && iter > 0)
+            break;
+
+        for (size_t c = 0; c < k; ++c) {
+            Signature mean(signatures[0].size(), 0.0);
+            size_t count = 0;
+            for (size_t i = 0; i < n; ++i) {
+                if (assignment[i] != c)
+                    continue;
+                ++count;
+                for (size_t d = 0; d < mean.size(); ++d)
+                    mean[d] += signatures[i][d];
+            }
+            if (count == 0)
+                continue; // empty cluster keeps its centroid
+            for (double &x : mean)
+                x /= static_cast<double>(count);
+            centroids[c] = std::move(mean);
+        }
+    }
+
+    // Representative per cluster: the member closest to the centroid.
+    std::vector<SimPoint> points;
+    for (size_t c = 0; c < k; ++c) {
+        size_t best = n;
+        double best_d = 0.0;
+        size_t members = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (assignment[i] != c)
+                continue;
+            ++members;
+            const double d = distance2(signatures[i], centroids[c]);
+            if (best == n || d < best_d) {
+                best = i;
+                best_d = d;
+            }
+        }
+        if (members == 0)
+            continue;
+        points.push_back(
+            {best, static_cast<double>(members) / static_cast<double>(n)});
+    }
+    std::sort(points.begin(), points.end(),
+              [](const SimPoint &a, const SimPoint &b) {
+                  return a.interval < b.interval;
+              });
+    return points;
+}
+
+BranchTrace
+sampleTrace(const BranchTrace &trace, const std::vector<SimPoint> &points,
+            size_t interval_size)
+{
+    BranchTrace sampled;
+    sampled.reserve(points.size() * interval_size);
+    for (const SimPoint &point : points) {
+        const size_t begin = point.interval * interval_size;
+        const size_t end = std::min(begin + interval_size, trace.size());
+        sampled.insert(sampled.end(), trace.begin() + begin,
+                       trace.begin() + end);
+    }
+    return sampled;
+}
+
+} // namespace autofsm

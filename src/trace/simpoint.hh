@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SimPoint-style representative-interval selection.
+ *
+ * The paper's traces are "300 million instructions from the SimPoints
+ * recommended in [37, 38]": full program runs are summarized by a few
+ * representative intervals found by clustering per-interval behavior
+ * signatures. This module reproduces that methodology for branch
+ * traces: split the run into fixed-size intervals, build a per-interval
+ * frequency vector over static branches (the branch-trace analogue of a
+ * basic-block vector), cluster with k-means, and keep the interval
+ * closest to each centroid, weighted by its cluster's share of the run.
+ */
+
+#ifndef AUTOFSM_TRACE_SIMPOINT_HH
+#define AUTOFSM_TRACE_SIMPOINT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/branch_trace.hh"
+
+namespace autofsm
+{
+
+/** One selected representative interval. */
+struct SimPoint
+{
+    /** Index of the representative interval within the trace. */
+    size_t interval = 0;
+    /** Fraction of all intervals its cluster accounts for. */
+    double weight = 0.0;
+};
+
+/** Knobs for selection. */
+struct SimPointOptions
+{
+    /** Dynamic branches per interval. */
+    size_t intervalSize = 10000;
+    /** Number of clusters / simulation points. */
+    int clusters = 4;
+    /** k-means iterations. */
+    int iterations = 20;
+    /** Deterministic seeding. */
+    uint64_t seed = 0x51a9;
+};
+
+/**
+ * Select representative intervals of @p trace.
+ *
+ * @return One SimPoint per non-empty cluster (at most options.clusters),
+ *         sorted by interval index; weights sum to 1.
+ */
+std::vector<SimPoint> selectSimPoints(const BranchTrace &trace,
+                                      const SimPointOptions &options = {});
+
+/**
+ * Concatenate the selected intervals into a reduced trace (the sampled
+ * stand-in for the full run).
+ */
+BranchTrace sampleTrace(const BranchTrace &trace,
+                        const std::vector<SimPoint> &points,
+                        size_t interval_size);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_TRACE_SIMPOINT_HH

@@ -1,0 +1,164 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace autofsm
+{
+
+namespace
+{
+
+constexpr uint32_t Magic = 0x4653'4d54; // "FSMT"
+constexpr uint32_t KindBranch = 1;
+constexpr uint32_t KindValue = 2;
+
+struct Header
+{
+    uint32_t magic;
+    uint32_t kind;
+    uint64_t records;
+};
+
+void
+writeHeader(std::ostream &out, uint32_t kind, uint64_t records)
+{
+    const Header header{Magic, kind, records};
+    out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+}
+
+Header
+readHeader(std::istream &in, uint32_t expected_kind)
+{
+    Header header{};
+    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in || header.magic != Magic)
+        throw std::invalid_argument("trace file: bad magic");
+    if (header.kind != expected_kind)
+        throw std::invalid_argument("trace file: wrong trace kind");
+    return header;
+}
+
+template <typename T>
+void
+writeRaw(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readRaw(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        throw std::invalid_argument("trace file: truncated");
+    return value;
+}
+
+} // anonymous namespace
+
+void
+writeBranchTrace(std::ostream &out, const BranchTrace &trace)
+{
+    writeHeader(out, KindBranch, trace.size());
+    for (const auto &record : trace) {
+        writeRaw(out, record.pc);
+        writeRaw(out, static_cast<uint8_t>(record.taken));
+    }
+}
+
+BranchTrace
+readBranchTrace(std::istream &in)
+{
+    const Header header = readHeader(in, KindBranch);
+    BranchTrace trace;
+    trace.reserve(header.records);
+    for (uint64_t i = 0; i < header.records; ++i) {
+        BranchRecord record;
+        record.pc = readRaw<uint64_t>(in);
+        record.taken = readRaw<uint8_t>(in) != 0;
+        trace.push_back(record);
+    }
+    return trace;
+}
+
+void
+writeValueTrace(std::ostream &out, const ValueTrace &trace)
+{
+    writeHeader(out, KindValue, trace.size());
+    for (const auto &record : trace) {
+        writeRaw(out, record.pc);
+        writeRaw(out, record.value);
+    }
+}
+
+ValueTrace
+readValueTrace(std::istream &in)
+{
+    const Header header = readHeader(in, KindValue);
+    ValueTrace trace;
+    trace.reserve(header.records);
+    for (uint64_t i = 0; i < header.records; ++i) {
+        LoadRecord record;
+        record.pc = readRaw<uint64_t>(in);
+        record.value = readRaw<uint64_t>(in);
+        trace.push_back(record);
+    }
+    return trace;
+}
+
+namespace
+{
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::invalid_argument("cannot open for writing: " + path);
+    return out;
+}
+
+std::ifstream
+openIn(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::invalid_argument("cannot open for reading: " + path);
+    return in;
+}
+
+} // anonymous namespace
+
+void
+saveBranchTrace(const std::string &path, const BranchTrace &trace)
+{
+    auto out = openOut(path);
+    writeBranchTrace(out, trace);
+}
+
+BranchTrace
+loadBranchTrace(const std::string &path)
+{
+    auto in = openIn(path);
+    return readBranchTrace(in);
+}
+
+void
+saveValueTrace(const std::string &path, const ValueTrace &trace)
+{
+    auto out = openOut(path);
+    writeValueTrace(out, trace);
+}
+
+ValueTrace
+loadValueTrace(const std::string &path)
+{
+    auto in = openIn(path);
+    return readValueTrace(in);
+}
+
+} // namespace autofsm

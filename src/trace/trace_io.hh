@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary trace files.
+ *
+ * Real deployments of the design flow feed it traces captured by an
+ * instrumentation tool (the paper used ATOM; today Pin or ChampSim).
+ * This module defines the on-disk interchange format so captured traces
+ * can replace the synthetic workload models without code changes:
+ * a 16-byte header (magic, kind, record count) followed by fixed-size
+ * little-endian records.
+ */
+
+#ifndef AUTOFSM_TRACE_TRACE_IO_HH
+#define AUTOFSM_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/branch_trace.hh"
+#include "trace/value_trace.hh"
+
+namespace autofsm
+{
+
+/** @name Stream-based serialization. */
+/// @{
+void writeBranchTrace(std::ostream &out, const BranchTrace &trace);
+BranchTrace readBranchTrace(std::istream &in);
+void writeValueTrace(std::ostream &out, const ValueTrace &trace);
+ValueTrace readValueTrace(std::istream &in);
+/// @}
+
+/** @name File-based convenience wrappers. */
+/// @{
+void saveBranchTrace(const std::string &path, const BranchTrace &trace);
+BranchTrace loadBranchTrace(const std::string &path);
+void saveValueTrace(const std::string &path, const ValueTrace &trace);
+ValueTrace loadValueTrace(const std::string &path);
+/// @}
+
+} // namespace autofsm
+
+#endif // AUTOFSM_TRACE_TRACE_IO_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Load value traces for the value-prediction experiments (Section 6).
+ */
+
+#ifndef AUTOFSM_TRACE_VALUE_TRACE_HH
+#define AUTOFSM_TRACE_VALUE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace autofsm
+{
+
+/** One dynamic load instruction and the value it brought in. */
+struct LoadRecord
+{
+    uint64_t pc = 0;    ///< static load address
+    uint64_t value = 0; ///< loaded data value
+};
+
+/** A program run's worth of dynamic loads. */
+using ValueTrace = std::vector<LoadRecord>;
+
+} // namespace autofsm
+
+#endif // AUTOFSM_TRACE_VALUE_TRACE_HH

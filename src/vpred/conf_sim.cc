@@ -1,0 +1,82 @@
+#include "vpred/conf_sim.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/bits.hh"
+
+namespace autofsm
+{
+
+ConfidenceResult
+simulateConfidence(const ValueTrace &trace, ValuePredictor &predictor,
+                   ConfidenceEstimator &estimator)
+{
+    ConfidenceResult result;
+    for (const auto &record : trace) {
+        const size_t entry = predictor.indexOf(record.pc);
+        const bool marked = estimator.confident(entry);
+        const StrideOutcome outcome =
+            predictor.executeLoad(record.pc, record.value);
+
+        ++result.loads;
+        result.correct += outcome.correct;
+        result.confident += marked;
+        result.confidentCorrect += marked && outcome.correct;
+
+        estimator.update(entry, outcome.correct);
+    }
+    return result;
+}
+
+ConfidenceResult
+simulateConfidence(const ValueTrace &trace, const StrideConfig &config,
+                   ConfidenceEstimator &estimator)
+{
+    TwoDeltaStridePredictor predictor(config);
+    return simulateConfidence(trace, predictor, estimator);
+}
+
+void
+collectConfidenceModels(const ValueTrace &trace, ValuePredictor &predictor,
+                        std::vector<MarkovModel *> models)
+{
+    assert(!models.empty());
+    int max_order = 0;
+    for (const MarkovModel *model : models)
+        max_order = std::max(max_order, model->order());
+
+    // Per-entry correctness history plus a saturating push count so each
+    // model knows when its own (shorter) warm-up completes.
+    std::vector<uint32_t> history(predictor.entries(), 0);
+    std::vector<int> pushes(predictor.entries(), 0);
+
+    for (const auto &record : trace) {
+        const StrideOutcome outcome =
+            predictor.executeLoad(record.pc, record.value);
+        const size_t entry = outcome.entry;
+
+        for (MarkovModel *model : models) {
+            if (pushes[entry] >= model->order()) {
+                model->observe(history[entry] & lowMask(model->order()),
+                               outcome.correct ? 1 : 0);
+            }
+        }
+
+        history[entry] = ((history[entry] << 1) |
+                          (outcome.correct ? 1U : 0U)) &
+            lowMask(max_order);
+        if (pushes[entry] < max_order)
+            ++pushes[entry];
+    }
+}
+
+void
+collectConfidenceModels(const ValueTrace &trace, const StrideConfig &config,
+                        std::vector<MarkovModel *> models)
+{
+    TwoDeltaStridePredictor predictor(config);
+    collectConfidenceModels(trace, predictor, std::move(models));
+}
+
+} // namespace autofsm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Confidence-estimation simulation and training (Section 6.3-6.4).
+ *
+ * Two passes share the same mechanics: the *measurement* pass drives a
+ * value trace through the stride predictor and a confidence estimator
+ * and reports accuracy/coverage; the *training* pass instead feeds each
+ * table entry's correctness history into Markov models of the requested
+ * orders (this is how the cross-trained FSM estimators of Figure 2 are
+ * built).
+ */
+
+#ifndef AUTOFSM_VPRED_CONF_SIM_HH
+#define AUTOFSM_VPRED_CONF_SIM_HH
+
+#include <vector>
+
+#include "fsmgen/markov.hh"
+#include "trace/value_trace.hh"
+#include "vpred/confidence.hh"
+#include "vpred/stride_predictor.hh"
+
+namespace autofsm
+{
+
+/** Accuracy/coverage measurement of one confidence configuration. */
+struct ConfidenceResult
+{
+    uint64_t loads = 0;
+    uint64_t correct = 0;            ///< correct value predictions
+    uint64_t confident = 0;          ///< loads marked confident
+    uint64_t confidentCorrect = 0;   ///< confident and correct
+
+    /** P(correct | marked confident); 0 when nothing was confident. */
+    double
+    accuracy() const
+    {
+        return confident == 0
+            ? 0.0
+            : static_cast<double>(confidentCorrect) /
+                static_cast<double>(confident);
+    }
+
+    /** Fraction of correct predictions that were marked confident. */
+    double
+    coverage() const
+    {
+        return correct == 0
+            ? 0.0
+            : static_cast<double>(confidentCorrect) /
+                static_cast<double>(correct);
+    }
+};
+
+/**
+ * Measure @p estimator against @p trace: for every load, consult the
+ * estimator for the entry the load maps to, run @p predictor, then
+ * update the estimator with the verdict. The estimator bank must have
+ * at least predictor.entries() entries.
+ */
+ConfidenceResult simulateConfidence(const ValueTrace &trace,
+                                    ValuePredictor &predictor,
+                                    ConfidenceEstimator &estimator);
+
+/**
+ * Convenience overload: a fresh two-delta stride predictor of the
+ * given geometry (the paper's configuration).
+ */
+ConfidenceResult simulateConfidence(const ValueTrace &trace,
+                                    const StrideConfig &config,
+                                    ConfidenceEstimator &estimator);
+
+/**
+ * Training pass: feed each entry's correctness stream into every model
+ * in @p models (each may have a different order). Entries keep
+ * independent history registers, exactly mirroring how the per-entry
+ * FSM estimators see the world at runtime.
+ */
+void collectConfidenceModels(const ValueTrace &trace,
+                             ValuePredictor &predictor,
+                             std::vector<MarkovModel *> models);
+
+/** Convenience overload: fresh two-delta stride predictor. */
+void collectConfidenceModels(const ValueTrace &trace,
+                             const StrideConfig &config,
+                             std::vector<MarkovModel *> models);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_VPRED_CONF_SIM_HH

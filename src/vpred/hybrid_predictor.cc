@@ -1,0 +1,71 @@
+#include "vpred/hybrid_predictor.hh"
+
+namespace autofsm
+{
+
+HybridPredictor::HybridPredictor(const HybridConfig &config)
+    : config_(config), stride_(config.stride), fcm_(config.fcm),
+      chooser_(static_cast<size_t>(config.stride.entries),
+               SudCounter(config.chooser, config.chooser.max / 2))
+{}
+
+size_t
+HybridPredictor::indexOf(uint64_t pc) const
+{
+    return stride_.indexOf(pc);
+}
+
+size_t
+HybridPredictor::entries() const
+{
+    return stride_.entries();
+}
+
+StrideOutcome
+HybridPredictor::executeLoad(uint64_t pc, uint64_t value)
+{
+    // Run both components; each trains itself unconditionally so the
+    // loser keeps learning (total update, as in hybrid branch
+    // predictors).
+    const StrideOutcome stride = stride_.executeLoad(pc, value);
+    const StrideOutcome fcm = fcm_.executeLoad(pc, value);
+
+    SudCounter &chooser = chooser_[stride.entry];
+    const bool pick_fcm = chooser.predict();
+
+    StrideOutcome outcome;
+    outcome.entry = stride.entry;
+    if (pick_fcm && fcm.predicted) {
+        outcome.predicted = true;
+        outcome.correct = fcm.correct;
+        ++fcmChosen_;
+    } else {
+        outcome.predicted = stride.predicted;
+        outcome.correct = stride.correct;
+    }
+    predicted_ += outcome.predicted;
+
+    // The chooser trains only when the components disagree.
+    if (stride.predicted && fcm.predicted &&
+        stride.correct != fcm.correct) {
+        chooser.update(fcm.correct);
+    }
+    return outcome;
+}
+
+double
+HybridPredictor::fcmShare() const
+{
+    return predicted_ == 0
+        ? 0.0
+        : static_cast<double>(fcmChosen_) /
+            static_cast<double>(predicted_);
+}
+
+std::string
+HybridPredictor::name() const
+{
+    return "hybrid(" + stride_.name() + "+" + fcm_.name() + ")";
+}
+
+} // namespace autofsm

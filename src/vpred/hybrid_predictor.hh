@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hybrid value predictor (Section 6.1's "hybrid approaches", Wang &
+ * Franklin [48] / Rhodes-style): a two-delta stride component and an
+ * FCM component run side by side; a per-entry SUD chooser tracks which
+ * component has been right more often for each static load and selects
+ * its prediction.
+ */
+
+#ifndef AUTOFSM_VPRED_HYBRID_PREDICTOR_HH
+#define AUTOFSM_VPRED_HYBRID_PREDICTOR_HH
+
+#include <vector>
+
+#include "support/sud_counter.hh"
+#include "vpred/context_predictor.hh"
+#include "vpred/stride_predictor.hh"
+
+namespace autofsm
+{
+
+/** Hybrid geometry. */
+struct HybridConfig
+{
+    StrideConfig stride;       ///< stride component (also the entry map)
+    FcmConfig fcm;             ///< context component
+    SudConfig chooser{3, 1, 1, 2}; ///< per-entry component selector
+};
+
+/** Stride + FCM hybrid with a per-entry chooser. */
+class HybridPredictor : public ValuePredictor
+{
+  public:
+    explicit HybridPredictor(const HybridConfig &config = {});
+
+    StrideOutcome executeLoad(uint64_t pc, uint64_t value) override;
+    size_t indexOf(uint64_t pc) const override;
+    size_t entries() const override;
+    std::string name() const override;
+
+    /** Fraction of predicted loads served by the FCM side. */
+    double fcmShare() const;
+
+  private:
+    HybridConfig config_;
+    TwoDeltaStridePredictor stride_;
+    FcmPredictor fcm_;
+    /** High value selects the FCM component. */
+    std::vector<SudCounter> chooser_;
+    uint64_t predicted_ = 0;
+    uint64_t fcmChosen_ = 0;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_VPRED_HYBRID_PREDICTOR_HH

@@ -1,0 +1,163 @@
+#include "workloads/memory_workloads.hh"
+
+#include <stdexcept>
+
+#include "support/rng.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+/** Address-stream archetypes for one static load. */
+enum class AccessKind
+{
+    /** Sequential walk over an unbounded region: no reuse. */
+    Stream,
+    /** Repeated walk over a small resident array: high reuse. */
+    LoopArray,
+    /** Uniform random over a large region: negligible reuse. */
+    Scatter,
+};
+
+struct AccessSpec
+{
+    AccessKind kind;
+    int repeat = 1;
+    uint64_t base = 0;
+    uint64_t footprint = 4096; ///< LoopArray / Scatter region size
+    uint64_t stride = 32;      ///< Stream / LoopArray step
+};
+
+struct AccessState
+{
+    uint64_t pos = 0;
+};
+
+class MemoryModel
+{
+  public:
+    MemoryModel(std::vector<AccessSpec> sites, uint64_t seed)
+        : sites_(std::move(sites)), states_(sites_.size()), rng_(seed)
+    {}
+
+    ValueTrace
+    generate(size_t approx_accesses)
+    {
+        ValueTrace trace;
+        trace.reserve(approx_accesses + 16);
+        while (trace.size() < approx_accesses) {
+            for (size_t i = 0; i < sites_.size(); ++i) {
+                for (int r = 0; r < sites_[i].repeat; ++r)
+                    executeSite(i, trace);
+            }
+        }
+        return trace;
+    }
+
+  private:
+    void
+    executeSite(size_t idx, ValueTrace &trace)
+    {
+        const AccessSpec &spec = sites_[idx];
+        AccessState &state = states_[idx];
+        const uint64_t pc = 0x160000000ULL + 16 * idx;
+
+        uint64_t addr = 0;
+        switch (spec.kind) {
+          case AccessKind::Stream:
+            addr = spec.base + state.pos;
+            state.pos += spec.stride;
+            break;
+          case AccessKind::LoopArray:
+            addr = spec.base + (state.pos % spec.footprint);
+            state.pos += spec.stride;
+            break;
+          case AccessKind::Scatter:
+            addr = spec.base + (rng_.below(spec.footprint / 32)) * 32;
+            break;
+        }
+        trace.push_back({pc, addr});
+    }
+
+    std::vector<AccessSpec> sites_;
+    std::vector<AccessState> states_;
+    Rng rng_;
+};
+
+AccessSpec
+stream(uint64_t base, int repeat = 1, uint64_t stride = 32)
+{
+    return {AccessKind::Stream, repeat, base, 0, stride};
+}
+
+AccessSpec
+loopArray(uint64_t base, uint64_t footprint, int repeat = 1,
+          uint64_t stride = 32)
+{
+    return {AccessKind::LoopArray, repeat, base, footprint, stride};
+}
+
+AccessSpec
+scatter(uint64_t base, uint64_t footprint, int repeat = 1)
+{
+    return {AccessKind::Scatter, repeat, base, footprint, 0};
+}
+
+std::vector<AccessSpec>
+buildSites(const std::string &name)
+{
+    if (name == "stream_mix") {
+        // Copy kernel polluting a resident working set: the classic
+        // bypass win.
+        return {
+            loopArray(0x100000, 8192, 4),
+            stream(0x40000000, 4),
+            stream(0x80000000, 2, 64),
+            loopArray(0x200000, 4096, 2),
+        };
+    }
+    if (name == "stencil") {
+        // Several resident planes plus one streaming input edge.
+        return {
+            loopArray(0x300000, 16384, 3),
+            loopArray(0x380000, 16384, 3),
+            stream(0xA0000000, 2),
+            scatter(0x10000000, 1 << 22, 1),
+        };
+    }
+    if (name == "hash_walk") {
+        // Hash-table probing: scattered, low-reuse accesses dominate,
+        // with a small hot header array.
+        return {
+            scatter(0x20000000, 1 << 24, 6),
+            loopArray(0x400000, 2048, 2),
+            stream(0xB0000000, 1),
+        };
+    }
+    throw std::invalid_argument("unknown memory workload: " + name);
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+memoryWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "stream_mix", "stencil", "hash_walk",
+    };
+    return names;
+}
+
+ValueTrace
+makeMemoryTrace(const std::string &name, size_t approx_accesses)
+{
+    uint64_t seed = 0x3E3E;
+    for (char c : name)
+        seed = seed * 131 + static_cast<unsigned char>(c);
+    MemoryModel model(buildSites(name), seed);
+    return model.generate(approx_accesses);
+}
+
+} // namespace autofsm

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Synthetic memory access workloads for the cache-management
+ * application (Section 2.4).
+ *
+ * Each workload mixes static loads with archetypal locality: streaming
+ * (sequential, never reused - pure pollution), resident loops (small
+ * arrays re-walked repeatedly - high reuse), and scattered accesses
+ * over a large region (negligible reuse). Bypass predictors must learn,
+ * per load PC, whether its fills pay off.
+ */
+
+#ifndef AUTOFSM_WORKLOADS_MEMORY_WORKLOADS_HH
+#define AUTOFSM_WORKLOADS_MEMORY_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/value_trace.hh"
+
+namespace autofsm
+{
+
+/** Names of the synthetic memory workloads. */
+const std::vector<std::string> &memoryWorkloadNames();
+
+/**
+ * Generate roughly @p approx_accesses (pc, address) records for
+ * workload @p name; `LoadRecord::value` carries the byte address.
+ * Deterministic per (name, approx_accesses).
+ */
+ValueTrace makeMemoryTrace(const std::string &name,
+                           size_t approx_accesses = 200000);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_WORKLOADS_MEMORY_WORKLOADS_HH

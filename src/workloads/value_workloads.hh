@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Synthetic load-value workloads.
+ *
+ * Stand-ins for the paper's value-prediction benchmark suite (groff,
+ * gcc, li, go, perl). Each benchmark is a set of static load sites with
+ * archetypal value behavior (constant, strided, phase-changing stride,
+ * repeating non-arithmetic cycles, random). The loads are pushed through
+ * the *real* two-delta stride predictor in src/vpred; the confidence
+ * traces that train and evaluate the FSM estimators are that predictor's
+ * genuine hit/miss streams. Cycle-structured loads produce periodic
+ * correctness patterns that counting (SUD) estimators cannot express but
+ * history-based FSMs can - the behavior Figure 2 measures.
+ */
+
+#ifndef AUTOFSM_WORKLOADS_VALUE_WORKLOADS_HH
+#define AUTOFSM_WORKLOADS_VALUE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/value_trace.hh"
+
+namespace autofsm
+{
+
+/** Names of the five value-prediction benchmarks, paper order. */
+const std::vector<std::string> &valueBenchmarkNames();
+
+/**
+ * Generate a dynamic load trace of roughly @p approx_loads records for
+ * benchmark @p name. Deterministic per (name, approx_loads).
+ */
+ValueTrace makeValueTrace(const std::string &name,
+                          size_t approx_loads = 300000);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_WORKLOADS_VALUE_WORKLOADS_HH

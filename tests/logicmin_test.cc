@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit and property tests for the logic-minimization substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "logicmin/espresso.hh"
+#include "logicmin/minimize.hh"
+#include "logicmin/quine_mccluskey.hh"
+#include "support/rng.hh"
+
+namespace autofsm
+{
+namespace
+{
+
+TEST(CubeTest, MintermContainsOnlyItself)
+{
+    const Cube cube = Cube::minterm(0b101, 3);
+    EXPECT_TRUE(cube.contains(0b101));
+    for (uint32_t m = 0; m < 8; ++m) {
+        if (m != 0b101) {
+            EXPECT_FALSE(cube.contains(m));
+        }
+    }
+    EXPECT_EQ(cube.literals(), 3);
+}
+
+TEST(CubeTest, DontCarePositionsMatchBoth)
+{
+    // Pattern "1x" over 2 vars: bit1 = 1, bit0 free.
+    const Cube cube = Cube::fromPattern("1x");
+    EXPECT_TRUE(cube.contains(0b10));
+    EXPECT_TRUE(cube.contains(0b11));
+    EXPECT_FALSE(cube.contains(0b00));
+    EXPECT_FALSE(cube.contains(0b01));
+    EXPECT_EQ(cube.literals(), 1);
+}
+
+TEST(CubeTest, PatternRoundTrip)
+{
+    for (const char *text : {"x1", "1x", "0x1x", "xxxx", "1010"}) {
+        const Cube cube = Cube::fromPattern(text);
+        EXPECT_EQ(cube.toPattern(static_cast<int>(strlen(text))), text);
+    }
+}
+
+TEST(CubeTest, CoversIsContainment)
+{
+    const Cube big = Cube::fromPattern("1xx");
+    const Cube small = Cube::fromPattern("1x0");
+    EXPECT_TRUE(big.covers(small));
+    EXPECT_FALSE(small.covers(big));
+    EXPECT_TRUE(big.covers(big));
+}
+
+TEST(CubeTest, IntersectsDetectsSharedMinterms)
+{
+    EXPECT_TRUE(Cube::fromPattern("1x").intersects(Cube::fromPattern("x0")));
+    EXPECT_FALSE(Cube::fromPattern("1x").intersects(Cube::fromPattern("0x")));
+}
+
+TEST(CubeTest, TryMergeAdjacent)
+{
+    Cube merged;
+    EXPECT_TRUE(Cube::tryMerge(Cube::minterm(0b01, 2),
+                               Cube::minterm(0b11, 2), merged));
+    EXPECT_EQ(merged.toPattern(2), "x1");
+
+    // Distance 2: no merge.
+    EXPECT_FALSE(Cube::tryMerge(Cube::minterm(0b00, 2),
+                                Cube::minterm(0b11, 2), merged));
+    // Different masks: no merge.
+    EXPECT_FALSE(Cube::tryMerge(Cube::fromPattern("1x"),
+                                Cube::minterm(0b11, 2), merged));
+}
+
+TEST(TruthTableTest, TracksMembership)
+{
+    TruthTable table(3);
+    table.addOn(0b000);
+    table.addDontCare(0b111);
+    EXPECT_TRUE(table.isOn(0));
+    EXPECT_FALSE(table.isOn(7));
+    EXPECT_TRUE(table.isDontCare(7));
+    EXPECT_EQ(table.offSet().size(), 6u);
+    // Duplicate insertion is idempotent.
+    table.addOn(0b000);
+    EXPECT_EQ(table.onSet().size(), 1u);
+}
+
+TEST(CoverTest, EvaluateAndLiterals)
+{
+    Cover cover(2);
+    cover.add(Cube::fromPattern("x1"));
+    cover.add(Cube::fromPattern("1x"));
+    EXPECT_TRUE(cover.evaluate(0b01));
+    EXPECT_TRUE(cover.evaluate(0b10));
+    EXPECT_TRUE(cover.evaluate(0b11));
+    EXPECT_FALSE(cover.evaluate(0b00));
+    EXPECT_EQ(cover.literalCount(), 2);
+    EXPECT_EQ(cover.toString(), "x1 | 1x");
+}
+
+TEST(CoverTest, RemoveContained)
+{
+    Cover cover(3);
+    cover.add(Cube::fromPattern("1xx"));
+    cover.add(Cube::fromPattern("10x")); // contained
+    cover.add(Cube::fromPattern("0x1"));
+    cover.removeContained();
+    EXPECT_EQ(cover.size(), 2u);
+    EXPECT_EQ(cover.toString(), "1xx | 0x1");
+}
+
+TEST(CoverTest, RemoveContainedKeepsOneOfEqualCubes)
+{
+    Cover cover(2);
+    cover.add(Cube::fromPattern("1x"));
+    cover.add(Cube::fromPattern("1x"));
+    cover.removeContained();
+    EXPECT_EQ(cover.size(), 1u);
+}
+
+TEST(QuineMcCluskeyTest, PaperTwoVarExample)
+{
+    // Section 4.4: {00 -> 0, 01 -> 1, 10 -> 1, 11 -> 1} minimizes to
+    // (x1) v (1x).
+    TruthTable table(2);
+    table.addOn(0b01);
+    table.addOn(0b10);
+    table.addOn(0b11);
+    const Cover cover = minimizeQuineMcCluskey(table);
+    EXPECT_EQ(cover.size(), 2u);
+    EXPECT_EQ(cover.toString(), "x1 | 1x");
+}
+
+TEST(QuineMcCluskeyTest, FullOnCollapsesToTautology)
+{
+    TruthTable table(3);
+    for (uint32_t m = 0; m < 8; ++m)
+        table.addOn(m);
+    const Cover cover = minimizeQuineMcCluskey(table);
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_EQ(cover.cubes()[0].literals(), 0);
+}
+
+TEST(QuineMcCluskeyTest, EmptyOnGivesEmptyCover)
+{
+    TruthTable table(4);
+    table.addDontCare(3);
+    EXPECT_TRUE(minimizeQuineMcCluskey(table).empty());
+}
+
+TEST(QuineMcCluskeyTest, ClassicTextbookFunction)
+{
+    // f(a,b,c,d) = sum m(4,8,10,11,12,15) + d(9,14): the standard
+    // Quine-McCluskey worked example; with the don't-cares the minimum
+    // cover has 3 terms (10xx, 1x1x, x100).
+    TruthTable table(4);
+    for (uint32_t m : {4u, 8u, 10u, 11u, 12u, 15u})
+        table.addOn(m);
+    table.addDontCare(9);
+    table.addDontCare(14);
+    const Cover cover = minimizeQuineMcCluskey(table);
+    EXPECT_TRUE(cover.implements(table));
+    EXPECT_EQ(cover.size(), 3u);
+}
+
+TEST(QuineMcCluskeyTest, DontCaresEnlargePrimes)
+{
+    // With DC at 0b11, ON {0b01, 0b10} can be covered by x1 | 1x
+    // instead of 01 | 10 (same term count, fewer literals).
+    TruthTable table(2);
+    table.addOn(0b01);
+    table.addOn(0b10);
+    table.addDontCare(0b11);
+    const Cover cover = minimizeQuineMcCluskey(table);
+    EXPECT_EQ(cover.literalCount(), 2);
+}
+
+TEST(PrimeImplicantTest, AllPrimesFound)
+{
+    // f = x1 + 1x over 2 vars has exactly two primes.
+    TruthTable table(2);
+    table.addOn(1);
+    table.addOn(2);
+    table.addOn(3);
+    const auto primes = primeImplicants(table);
+    EXPECT_EQ(primes.size(), 2u);
+}
+
+TEST(EspressoTest, MatchesExactOnPaperExample)
+{
+    TruthTable table(2);
+    table.addOn(0b01);
+    table.addOn(0b10);
+    table.addOn(0b11);
+    const Cover cover = minimizeEspresso(table);
+    EXPECT_TRUE(cover.implements(table));
+    EXPECT_EQ(cover.size(), 2u);
+    EXPECT_EQ(cover.literalCount(), 2);
+}
+
+TEST(EspressoTest, EmptyOnGivesEmptyCover)
+{
+    TruthTable table(3);
+    EXPECT_TRUE(minimizeEspresso(table).empty());
+}
+
+TEST(MinimizeTest, DispatchesAndVerifies)
+{
+    TruthTable table(2);
+    table.addOn(0b11);
+    for (auto algo : {MinimizeAlgo::Auto, MinimizeAlgo::Exact,
+                      MinimizeAlgo::Heuristic}) {
+        const Cover cover = minimize(table, algo);
+        EXPECT_TRUE(cover.implements(table));
+        EXPECT_EQ(cover.size(), 1u);
+    }
+}
+
+/**
+ * Property test: on random incompletely-specified functions, both
+ * engines must produce functionally-correct covers, and the heuristic
+ * must not be wildly worse than the exact engine.
+ */
+class MinimizerPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MinimizerPropertyTest, EnginesAgreeFunctionally)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    const int num_vars = 3 + static_cast<int>(rng.below(4)); // 3..6
+    TruthTable table(num_vars);
+    for (uint32_t m = 0; m < (1u << num_vars); ++m) {
+        const double roll = rng.uniform();
+        if (roll < 0.35)
+            table.addOn(m);
+        else if (roll < 0.50)
+            table.addDontCare(m);
+    }
+    if (table.onSet().empty())
+        table.addOn(0);
+
+    const Cover exact = minimizeQuineMcCluskey(table);
+    const Cover heur = minimizeEspresso(table);
+    EXPECT_TRUE(exact.implements(table));
+    EXPECT_TRUE(heur.implements(table));
+
+    // Where they differ, only the DC minterms may disagree.
+    for (uint32_t m = 0; m < (1u << num_vars); ++m) {
+        if (!table.isDontCare(m)) {
+            EXPECT_EQ(exact.evaluate(m), heur.evaluate(m)) << "m=" << m;
+        }
+    }
+
+    // Cost sanity: heuristic within 2x of exact cover size.
+    EXPECT_LE(heur.size(), exact.size() * 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFunctions, MinimizerPropertyTest,
+                         ::testing::Range(0, 25));
+
+TEST(MinimizerExhaustiveTest, AllThreeVariableFunctions)
+{
+    // Every completely-specified function of 3 variables (256 of them):
+    // both engines must return implementing covers, and the exact
+    // engine's cover must never exceed the trivial minterm count.
+    for (uint32_t truth = 0; truth < 256; ++truth) {
+        TruthTable table(3);
+        int on_count = 0;
+        for (uint32_t m = 0; m < 8; ++m) {
+            if (truth & (1u << m)) {
+                table.addOn(m);
+                ++on_count;
+            }
+        }
+        const Cover exact = minimizeQuineMcCluskey(table);
+        const Cover heur = minimizeEspresso(table);
+        ASSERT_TRUE(exact.implements(table)) << "truth=" << truth;
+        ASSERT_TRUE(heur.implements(table)) << "truth=" << truth;
+        EXPECT_LE(static_cast<int>(exact.size()), on_count);
+        EXPECT_LE(static_cast<int>(heur.size()), on_count);
+        // Fully-specified function: the two engines compute the same
+        // boolean function everywhere.
+        for (uint32_t m = 0; m < 8; ++m)
+            ASSERT_EQ(exact.evaluate(m), heur.evaluate(m));
+    }
+}
+
+TEST(MinimizerStressTest, TenVariableBiasedFunction)
+{
+    // History length 10, ~1024 minterms: the largest case the design
+    // flow produces. The heuristic engine must stay fast and correct.
+    Rng rng(99);
+    TruthTable table(10);
+    for (uint32_t m = 0; m < 1024; ++m) {
+        // Bias: ON where the two most recent history bits look taken.
+        const bool likely = (m & 0b11) == 0b11;
+        if (rng.uniform() < (likely ? 0.95 : 0.05))
+            table.addOn(m);
+        else if (rng.uniform() < 0.1)
+            table.addDontCare(m);
+    }
+    const Cover cover = minimizeEspresso(table);
+    EXPECT_TRUE(cover.implements(table));
+    // The structure should compress far below one cube per minterm.
+    EXPECT_LT(cover.size(), table.onSet().size() / 2);
+}
+
+} // anonymous namespace
+} // namespace autofsm

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the support substrate: rng, bits, history, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hh"
+#include "support/history.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace autofsm
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ReseedRestartsStream)
+{
+    Rng rng(5);
+    const uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(5);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(BitsTest, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xffu);
+    EXPECT_EQ(lowMask(32), 0xffffffffu);
+}
+
+TEST(BitsTest, BitOf)
+{
+    EXPECT_EQ(bitOf(0b101, 0), 1);
+    EXPECT_EQ(bitOf(0b101, 1), 0);
+    EXPECT_EQ(bitOf(0b101, 2), 1);
+}
+
+TEST(BitsTest, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(4), 2);
+    EXPECT_EQ(ceilLog2(5), 3);
+    EXPECT_EQ(ceilLog2(1024), 10);
+    EXPECT_EQ(ceilLog2(1025), 11);
+}
+
+TEST(BitsTest, BinaryRoundTrip)
+{
+    EXPECT_EQ(toBinary(0b0110, 4), "0110");
+    EXPECT_EQ(fromBinary("0110"), 0b0110u);
+    for (uint32_t v = 0; v < 64; ++v)
+        EXPECT_EQ(fromBinary(toBinary(v, 6)), v);
+}
+
+TEST(HistoryTest, PacksOldestAsMsb)
+{
+    HistoryRegister history(3);
+    history.push(1);
+    history.push(0);
+    history.push(1);
+    // Pushed 1 (oldest), 0, 1 (newest): pattern notation "101".
+    EXPECT_EQ(toBinary(history.value(), 3), "101");
+}
+
+TEST(HistoryTest, WarmupTracksWidth)
+{
+    HistoryRegister history(4);
+    EXPECT_FALSE(history.warm());
+    for (int i = 0; i < 3; ++i) {
+        history.push(1);
+        EXPECT_FALSE(history.warm());
+    }
+    history.push(0);
+    EXPECT_TRUE(history.warm());
+}
+
+TEST(HistoryTest, ShiftsOutOldBits)
+{
+    HistoryRegister history(2);
+    history.push(1);
+    history.push(1);
+    history.push(0);
+    EXPECT_EQ(toBinary(history.value(), 2), "10");
+    history.push(0);
+    EXPECT_EQ(toBinary(history.value(), 2), "00");
+}
+
+TEST(HistoryTest, ResetClearsWarmth)
+{
+    HistoryRegister history(2);
+    history.push(1);
+    history.push(1);
+    EXPECT_TRUE(history.warm());
+    history.reset();
+    EXPECT_FALSE(history.warm());
+    EXPECT_EQ(history.value(), 0u);
+}
+
+TEST(StatsTest, MeanMinMax)
+{
+    RunningStats stats;
+    stats.add(1.0);
+    stats.add(2.0);
+    stats.add(6.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 6.0);
+    EXPECT_EQ(stats.count(), 3u);
+    EXPECT_DOUBLE_EQ(stats.sum(), 9.0);
+}
+
+TEST(StatsTest, VarianceMatchesDefinition)
+{
+    RunningStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(x);
+    EXPECT_NEAR(stats.variance(), 4.0, 1e-9);
+}
+
+TEST(StatsTest, EmptyIsZero)
+{
+    RunningStats stats;
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(FitLineTest, RecoversExactLine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.5 * i + 7.0);
+    }
+    const LineFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+    EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+    EXPECT_NEAR(fit.at(10.0), 32.0, 1e-9);
+}
+
+TEST(FitLineTest, NoisyFitHasReasonableR2)
+{
+    Rng rng(3);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 * i + 10.0 + (rng.uniform() - 0.5) * 20.0);
+    }
+    const LineFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 0.1);
+    EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(FitLineTest, DegenerateInputsAreSafe)
+{
+    EXPECT_DOUBLE_EQ(fitLine({}, {}).slope, 0.0);
+    const LineFit single = fitLine({5.0}, {9.0});
+    EXPECT_DOUBLE_EQ(single.slope, 0.0);
+    EXPECT_DOUBLE_EQ(single.intercept, 9.0);
+    // Zero x-variance.
+    const LineFit flat = fitLine({2.0, 2.0}, {1.0, 3.0});
+    EXPECT_DOUBLE_EQ(flat.slope, 0.0);
+    EXPECT_DOUBLE_EQ(flat.intercept, 2.0);
+}
+
+TEST(StatsTest, SafeRatio)
+{
+    EXPECT_DOUBLE_EQ(safeRatio(1.0, 2.0), 0.5);
+    EXPECT_DOUBLE_EQ(safeRatio(1.0, 0.0), 0.0);
+}
+
+} // anonymous namespace
+} // namespace autofsm

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the synthetic workload substrate: determinism, scale,
+ * and the structural properties each benchmark model promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/history.hh"
+#include "trace/branch_trace.hh"
+#include "workloads/branch_workloads.hh"
+#include "workloads/value_workloads.hh"
+
+namespace autofsm
+{
+namespace
+{
+
+TEST(BranchWorkloadTest, SixBenchmarks)
+{
+    const auto &names = branchBenchmarkNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names[0], "compress");
+    EXPECT_EQ(names[5], "gs");
+}
+
+TEST(BranchWorkloadTest, Deterministic)
+{
+    const BranchTrace a =
+        makeBranchTrace("ijpeg", WorkloadInput::Train, 5000);
+    const BranchTrace b =
+        makeBranchTrace("ijpeg", WorkloadInput::Train, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+TEST(BranchWorkloadTest, InputsDiffer)
+{
+    const BranchTrace train =
+        makeBranchTrace("ijpeg", WorkloadInput::Train, 5000);
+    const BranchTrace test =
+        makeBranchTrace("ijpeg", WorkloadInput::Test, 5000);
+    size_t diffs = 0;
+    const size_t n = std::min(train.size(), test.size());
+    for (size_t i = 0; i < n; ++i)
+        diffs += train[i].taken != test[i].taken;
+    EXPECT_GT(diffs, n / 100); // data differs...
+    // ...but the program structure (branch sites) is shared.
+    const BranchProfile p1 = profileTrace(train);
+    const BranchProfile p2 = profileTrace(test);
+    EXPECT_EQ(p1.size(), p2.size());
+}
+
+TEST(BranchWorkloadTest, ReachesRequestedLength)
+{
+    for (const auto &name : branchBenchmarkNames()) {
+        const BranchTrace trace =
+            makeBranchTrace(name, WorkloadInput::Train, 20000);
+        EXPECT_GE(trace.size(), 20000u) << name;
+        EXPECT_LT(trace.size(), 21000u) << name; // one round of slack
+    }
+}
+
+TEST(BranchWorkloadTest, EveryBenchmarkHasMultipleSites)
+{
+    for (const auto &name : branchBenchmarkNames()) {
+        const BranchTrace trace =
+            makeBranchTrace(name, WorkloadInput::Train, 20000);
+        const BranchProfile profile = profileTrace(trace);
+        EXPECT_GE(profile.size(), 5u) << name;
+        // Mixed directions overall (loop-heavy benchmarks run taken-
+        // biased, like real embedded codes, but never monotone).
+        uint64_t taken = 0;
+        for (const auto &r : trace)
+            taken += r.taken;
+        EXPECT_GT(taken, trace.size() / 20) << name;
+        EXPECT_LT(taken, trace.size() * 19 / 20) << name;
+    }
+}
+
+TEST(BranchWorkloadTest, VortexIsGloballyPredictable)
+{
+    // The vortex model's claim: branch outcomes are near-deterministic
+    // functions of the global history. Measure the best achievable
+    // accuracy of an oracle keyed by (pc, 8-bit global history).
+    const BranchTrace trace =
+        makeBranchTrace("vortex", WorkloadInput::Train, 40000);
+
+    // First pass: majority vote per (pc, history) key.
+    std::map<std::pair<uint64_t, uint32_t>, std::pair<uint64_t, uint64_t>>
+        votes;
+    HistoryRegister global(8);
+    for (const auto &r : trace) {
+        auto &v = votes[{r.pc, global.value()}];
+        v.first += r.taken;
+        v.second += 1;
+        global.push(r.taken ? 1 : 0);
+    }
+    // Second pass: oracle accuracy.
+    global.reset();
+    uint64_t correct = 0;
+    for (const auto &r : trace) {
+        const auto &v = votes[{r.pc, global.value()}];
+        const bool majority = v.first * 2 >= v.second;
+        correct += majority == r.taken;
+        global.push(r.taken ? 1 : 0);
+    }
+    EXPECT_GT(static_cast<double>(correct) /
+                  static_cast<double>(trace.size()),
+              0.95);
+}
+
+TEST(BranchWorkloadTest, UnknownBenchmarkThrows)
+{
+    EXPECT_THROW(makeBranchTrace("spice", WorkloadInput::Train, 100),
+                 std::invalid_argument);
+}
+
+TEST(ValueWorkloadTest, FiveBenchmarks)
+{
+    const auto &names = valueBenchmarkNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "gcc");
+    EXPECT_EQ(names[4], "perl");
+}
+
+TEST(ValueWorkloadTest, DeterministicAndSized)
+{
+    const ValueTrace a = makeValueTrace("li", 10000);
+    const ValueTrace b = makeValueTrace("li", 10000);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_GE(a.size(), 10000u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].value, b[i].value);
+    }
+}
+
+TEST(ValueWorkloadTest, BenchmarksDiffer)
+{
+    const ValueTrace a = makeValueTrace("gcc", 5000);
+    const ValueTrace b = makeValueTrace("go", 5000);
+    size_t diffs = 0;
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i)
+        diffs += a[i].value != b[i].value;
+    EXPECT_GT(diffs, n / 4);
+}
+
+TEST(ValueWorkloadTest, MultipleLoadSites)
+{
+    const ValueTrace trace = makeValueTrace("perl", 5000);
+    std::set<uint64_t> pcs;
+    for (const auto &r : trace)
+        pcs.insert(r.pc);
+    EXPECT_GE(pcs.size(), 5u);
+}
+
+TEST(ValueWorkloadTest, UnknownBenchmarkThrows)
+{
+    EXPECT_THROW(makeValueTrace("vortex", 100), std::invalid_argument);
+}
+
+TEST(TraceProfileTest, CountsPerBranch)
+{
+    BranchTrace trace = {
+        {0x10, true}, {0x10, false}, {0x20, true}, {0x10, true}};
+    const BranchProfile profile = profileTrace(trace);
+    ASSERT_EQ(profile.size(), 2u);
+    EXPECT_EQ(profile.at(0x10).executions, 3u);
+    EXPECT_EQ(profile.at(0x10).taken, 2u);
+    EXPECT_EQ(profile.at(0x20).executions, 1u);
+}
+
+} // anonymous namespace
+} // namespace autofsm
