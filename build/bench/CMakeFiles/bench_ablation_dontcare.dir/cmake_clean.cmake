@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dontcare.dir/bench_ablation_dontcare.cc.o"
+  "CMakeFiles/bench_ablation_dontcare.dir/bench_ablation_dontcare.cc.o.d"
+  "bench_ablation_dontcare"
+  "bench_ablation_dontcare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dontcare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

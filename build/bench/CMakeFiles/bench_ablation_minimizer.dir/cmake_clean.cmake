@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_minimizer.dir/bench_ablation_minimizer.cc.o"
+  "CMakeFiles/bench_ablation_minimizer.dir/bench_ablation_minimizer.cc.o.d"
+  "bench_ablation_minimizer"
+  "bench_ablation_minimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cache_bypass.dir/bench_ext_cache_bypass.cc.o"
+  "CMakeFiles/bench_ext_cache_bypass.dir/bench_ext_cache_bypass.cc.o.d"
+  "bench_ext_cache_bypass"
+  "bench_ext_cache_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cache_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gating.dir/bench_ext_gating.cc.o"
+  "CMakeFiles/bench_ext_gating.dir/bench_ext_gating.cc.o.d"
+  "bench_ext_gating"
+  "bench_ext_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_general_counter.dir/bench_ext_general_counter.cc.o"
+  "CMakeFiles/bench_ext_general_counter.dir/bench_ext_general_counter.cc.o.d"
+  "bench_ext_general_counter"
+  "bench_ext_general_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_general_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

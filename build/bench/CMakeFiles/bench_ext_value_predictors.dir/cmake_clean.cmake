@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_value_predictors.dir/bench_ext_value_predictors.cc.o"
+  "CMakeFiles/bench_ext_value_predictors.dir/bench_ext_value_predictors.cc.o.d"
+  "bench_ext_value_predictors"
+  "bench_ext_value_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_value_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

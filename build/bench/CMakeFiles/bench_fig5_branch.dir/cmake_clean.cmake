@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_branch.dir/bench_fig5_branch.cc.o"
+  "CMakeFiles/bench_fig5_branch.dir/bench_fig5_branch.cc.o.d"
+  "bench_fig5_branch"
+  "bench_fig5_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

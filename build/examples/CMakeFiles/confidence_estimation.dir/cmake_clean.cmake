@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence_estimation.dir/confidence_estimation.cpp.o"
+  "CMakeFiles/confidence_estimation.dir/confidence_estimation.cpp.o.d"
+  "confidence_estimation"
+  "confidence_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_branch_predictor.dir/custom_branch_predictor.cpp.o"
+  "CMakeFiles/custom_branch_predictor.dir/custom_branch_predictor.cpp.o.d"
+  "custom_branch_predictor"
+  "custom_branch_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_branch_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

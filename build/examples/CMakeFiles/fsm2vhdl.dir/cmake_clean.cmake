@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm2vhdl.dir/fsm2vhdl.cpp.o"
+  "CMakeFiles/fsm2vhdl.dir/fsm2vhdl.cpp.o.d"
+  "fsm2vhdl"
+  "fsm2vhdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm2vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

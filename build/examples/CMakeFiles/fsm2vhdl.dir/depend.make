@@ -1,0 +1,2 @@
+# Empty dependencies file for fsm2vhdl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/dfa.cc" "src/automata/CMakeFiles/autofsm_automata.dir/dfa.cc.o" "gcc" "src/automata/CMakeFiles/autofsm_automata.dir/dfa.cc.o.d"
+  "/root/repo/src/automata/dfa_io.cc" "src/automata/CMakeFiles/autofsm_automata.dir/dfa_io.cc.o" "gcc" "src/automata/CMakeFiles/autofsm_automata.dir/dfa_io.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/automata/CMakeFiles/autofsm_automata.dir/nfa.cc.o" "gcc" "src/automata/CMakeFiles/autofsm_automata.dir/nfa.cc.o.d"
+  "/root/repo/src/automata/regex.cc" "src/automata/CMakeFiles/autofsm_automata.dir/regex.cc.o" "gcc" "src/automata/CMakeFiles/autofsm_automata.dir/regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logicmin/CMakeFiles/autofsm_logicmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autofsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_automata.dir/dfa.cc.o"
+  "CMakeFiles/autofsm_automata.dir/dfa.cc.o.d"
+  "CMakeFiles/autofsm_automata.dir/dfa_io.cc.o"
+  "CMakeFiles/autofsm_automata.dir/dfa_io.cc.o.d"
+  "CMakeFiles/autofsm_automata.dir/nfa.cc.o"
+  "CMakeFiles/autofsm_automata.dir/nfa.cc.o.d"
+  "CMakeFiles/autofsm_automata.dir/regex.cc.o"
+  "CMakeFiles/autofsm_automata.dir/regex.cc.o.d"
+  "libautofsm_automata.a"
+  "libautofsm_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/branch_confidence.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/branch_confidence.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/branch_confidence.cc.o.d"
+  "/root/repo/src/bpred/btb.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/btb.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/btb.cc.o.d"
+  "/root/repo/src/bpred/counter_design.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/counter_design.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/counter_design.cc.o.d"
+  "/root/repo/src/bpred/custom.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/custom.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/custom.cc.o.d"
+  "/root/repo/src/bpred/fsm_bimodal.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/fsm_bimodal.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/fsm_bimodal.cc.o.d"
+  "/root/repo/src/bpred/gshare.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/gshare.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/gshare.cc.o.d"
+  "/root/repo/src/bpred/local_global.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/local_global.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/local_global.cc.o.d"
+  "/root/repo/src/bpred/ppm.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/ppm.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/ppm.cc.o.d"
+  "/root/repo/src/bpred/simulate.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/simulate.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/simulate.cc.o.d"
+  "/root/repo/src/bpred/trainer.cc" "src/bpred/CMakeFiles/autofsm_bpred.dir/trainer.cc.o" "gcc" "src/bpred/CMakeFiles/autofsm_bpred.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/autofsm_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/autofsm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autofsm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/autofsm_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicmin/CMakeFiles/autofsm_logicmin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

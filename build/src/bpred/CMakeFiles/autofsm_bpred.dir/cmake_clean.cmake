@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_bpred.dir/branch_confidence.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/branch_confidence.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/btb.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/btb.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/counter_design.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/counter_design.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/custom.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/custom.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/fsm_bimodal.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/fsm_bimodal.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/gshare.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/gshare.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/local_global.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/local_global.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/ppm.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/ppm.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/simulate.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/simulate.cc.o.d"
+  "CMakeFiles/autofsm_bpred.dir/trainer.cc.o"
+  "CMakeFiles/autofsm_bpred.dir/trainer.cc.o.d"
+  "libautofsm_bpred.a"
+  "libautofsm_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

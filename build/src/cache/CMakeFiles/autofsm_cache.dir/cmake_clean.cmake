@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_cache.dir/bypass.cc.o"
+  "CMakeFiles/autofsm_cache.dir/bypass.cc.o.d"
+  "CMakeFiles/autofsm_cache.dir/cache.cc.o"
+  "CMakeFiles/autofsm_cache.dir/cache.cc.o.d"
+  "libautofsm_cache.a"
+  "libautofsm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsmgen/designer.cc" "src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/designer.cc.o" "gcc" "src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/designer.cc.o.d"
+  "/root/repo/src/fsmgen/markov.cc" "src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/markov.cc.o" "gcc" "src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/markov.cc.o.d"
+  "/root/repo/src/fsmgen/patterns.cc" "src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/patterns.cc.o" "gcc" "src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/patterns.cc.o.d"
+  "/root/repo/src/fsmgen/predictor_fsm.cc" "src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/predictor_fsm.cc.o" "gcc" "src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/predictor_fsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/autofsm_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicmin/CMakeFiles/autofsm_logicmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autofsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_fsmgen.dir/designer.cc.o"
+  "CMakeFiles/autofsm_fsmgen.dir/designer.cc.o.d"
+  "CMakeFiles/autofsm_fsmgen.dir/markov.cc.o"
+  "CMakeFiles/autofsm_fsmgen.dir/markov.cc.o.d"
+  "CMakeFiles/autofsm_fsmgen.dir/patterns.cc.o"
+  "CMakeFiles/autofsm_fsmgen.dir/patterns.cc.o.d"
+  "CMakeFiles/autofsm_fsmgen.dir/predictor_fsm.cc.o"
+  "CMakeFiles/autofsm_fsmgen.dir/predictor_fsm.cc.o.d"
+  "libautofsm_fsmgen.a"
+  "libautofsm_fsmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_fsmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for autofsm_fsmgen.
+# This may be replaced when dependencies are built.

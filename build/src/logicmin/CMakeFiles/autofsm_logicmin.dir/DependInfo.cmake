@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logicmin/cover.cc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/cover.cc.o" "gcc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/cover.cc.o.d"
+  "/root/repo/src/logicmin/espresso.cc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/espresso.cc.o" "gcc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/espresso.cc.o.d"
+  "/root/repo/src/logicmin/minimize.cc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/minimize.cc.o" "gcc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/minimize.cc.o.d"
+  "/root/repo/src/logicmin/quine_mccluskey.cc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/quine_mccluskey.cc.o" "gcc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/quine_mccluskey.cc.o.d"
+  "/root/repo/src/logicmin/truth_table.cc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/truth_table.cc.o" "gcc" "src/logicmin/CMakeFiles/autofsm_logicmin.dir/truth_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/autofsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

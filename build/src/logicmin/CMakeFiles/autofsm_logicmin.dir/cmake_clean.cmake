@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_logicmin.dir/cover.cc.o"
+  "CMakeFiles/autofsm_logicmin.dir/cover.cc.o.d"
+  "CMakeFiles/autofsm_logicmin.dir/espresso.cc.o"
+  "CMakeFiles/autofsm_logicmin.dir/espresso.cc.o.d"
+  "CMakeFiles/autofsm_logicmin.dir/minimize.cc.o"
+  "CMakeFiles/autofsm_logicmin.dir/minimize.cc.o.d"
+  "CMakeFiles/autofsm_logicmin.dir/quine_mccluskey.cc.o"
+  "CMakeFiles/autofsm_logicmin.dir/quine_mccluskey.cc.o.d"
+  "CMakeFiles/autofsm_logicmin.dir/truth_table.cc.o"
+  "CMakeFiles/autofsm_logicmin.dir/truth_table.cc.o.d"
+  "libautofsm_logicmin.a"
+  "libautofsm_logicmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_logicmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_sim.dir/figure2.cc.o"
+  "CMakeFiles/autofsm_sim.dir/figure2.cc.o.d"
+  "CMakeFiles/autofsm_sim.dir/figure4.cc.o"
+  "CMakeFiles/autofsm_sim.dir/figure4.cc.o.d"
+  "CMakeFiles/autofsm_sim.dir/figure5.cc.o"
+  "CMakeFiles/autofsm_sim.dir/figure5.cc.o.d"
+  "CMakeFiles/autofsm_sim.dir/report.cc.o"
+  "CMakeFiles/autofsm_sim.dir/report.cc.o.d"
+  "libautofsm_sim.a"
+  "libautofsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

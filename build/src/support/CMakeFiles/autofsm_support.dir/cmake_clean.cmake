@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_support.dir/stats.cc.o"
+  "CMakeFiles/autofsm_support.dir/stats.cc.o.d"
+  "libautofsm_support.a"
+  "libautofsm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/area.cc" "src/synth/CMakeFiles/autofsm_synth.dir/area.cc.o" "gcc" "src/synth/CMakeFiles/autofsm_synth.dir/area.cc.o.d"
+  "/root/repo/src/synth/verilog.cc" "src/synth/CMakeFiles/autofsm_synth.dir/verilog.cc.o" "gcc" "src/synth/CMakeFiles/autofsm_synth.dir/verilog.cc.o.d"
+  "/root/repo/src/synth/vhdl.cc" "src/synth/CMakeFiles/autofsm_synth.dir/vhdl.cc.o" "gcc" "src/synth/CMakeFiles/autofsm_synth.dir/vhdl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/autofsm_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicmin/CMakeFiles/autofsm_logicmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autofsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

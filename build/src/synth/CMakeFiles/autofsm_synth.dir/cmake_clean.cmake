@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_synth.dir/area.cc.o"
+  "CMakeFiles/autofsm_synth.dir/area.cc.o.d"
+  "CMakeFiles/autofsm_synth.dir/verilog.cc.o"
+  "CMakeFiles/autofsm_synth.dir/verilog.cc.o.d"
+  "CMakeFiles/autofsm_synth.dir/vhdl.cc.o"
+  "CMakeFiles/autofsm_synth.dir/vhdl.cc.o.d"
+  "libautofsm_synth.a"
+  "libautofsm_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

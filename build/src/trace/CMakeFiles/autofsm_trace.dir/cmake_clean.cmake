@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_trace.dir/branch_trace.cc.o"
+  "CMakeFiles/autofsm_trace.dir/branch_trace.cc.o.d"
+  "CMakeFiles/autofsm_trace.dir/simpoint.cc.o"
+  "CMakeFiles/autofsm_trace.dir/simpoint.cc.o.d"
+  "CMakeFiles/autofsm_trace.dir/trace_io.cc.o"
+  "CMakeFiles/autofsm_trace.dir/trace_io.cc.o.d"
+  "libautofsm_trace.a"
+  "libautofsm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

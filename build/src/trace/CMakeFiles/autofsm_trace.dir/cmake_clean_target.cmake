@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautofsm_trace.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for autofsm_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpred/conf_sim.cc" "src/vpred/CMakeFiles/autofsm_vpred.dir/conf_sim.cc.o" "gcc" "src/vpred/CMakeFiles/autofsm_vpred.dir/conf_sim.cc.o.d"
+  "/root/repo/src/vpred/confidence.cc" "src/vpred/CMakeFiles/autofsm_vpred.dir/confidence.cc.o" "gcc" "src/vpred/CMakeFiles/autofsm_vpred.dir/confidence.cc.o.d"
+  "/root/repo/src/vpred/context_predictor.cc" "src/vpred/CMakeFiles/autofsm_vpred.dir/context_predictor.cc.o" "gcc" "src/vpred/CMakeFiles/autofsm_vpred.dir/context_predictor.cc.o.d"
+  "/root/repo/src/vpred/hybrid_predictor.cc" "src/vpred/CMakeFiles/autofsm_vpred.dir/hybrid_predictor.cc.o" "gcc" "src/vpred/CMakeFiles/autofsm_vpred.dir/hybrid_predictor.cc.o.d"
+  "/root/repo/src/vpred/last_value.cc" "src/vpred/CMakeFiles/autofsm_vpred.dir/last_value.cc.o" "gcc" "src/vpred/CMakeFiles/autofsm_vpred.dir/last_value.cc.o.d"
+  "/root/repo/src/vpred/stride_predictor.cc" "src/vpred/CMakeFiles/autofsm_vpred.dir/stride_predictor.cc.o" "gcc" "src/vpred/CMakeFiles/autofsm_vpred.dir/stride_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/autofsm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autofsm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/autofsm_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicmin/CMakeFiles/autofsm_logicmin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

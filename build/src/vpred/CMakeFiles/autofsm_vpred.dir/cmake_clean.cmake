@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_vpred.dir/conf_sim.cc.o"
+  "CMakeFiles/autofsm_vpred.dir/conf_sim.cc.o.d"
+  "CMakeFiles/autofsm_vpred.dir/confidence.cc.o"
+  "CMakeFiles/autofsm_vpred.dir/confidence.cc.o.d"
+  "CMakeFiles/autofsm_vpred.dir/context_predictor.cc.o"
+  "CMakeFiles/autofsm_vpred.dir/context_predictor.cc.o.d"
+  "CMakeFiles/autofsm_vpred.dir/hybrid_predictor.cc.o"
+  "CMakeFiles/autofsm_vpred.dir/hybrid_predictor.cc.o.d"
+  "CMakeFiles/autofsm_vpred.dir/last_value.cc.o"
+  "CMakeFiles/autofsm_vpred.dir/last_value.cc.o.d"
+  "CMakeFiles/autofsm_vpred.dir/stride_predictor.cc.o"
+  "CMakeFiles/autofsm_vpred.dir/stride_predictor.cc.o.d"
+  "libautofsm_vpred.a"
+  "libautofsm_vpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_vpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/branch_workloads.cc" "src/workloads/CMakeFiles/autofsm_workloads.dir/branch_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/autofsm_workloads.dir/branch_workloads.cc.o.d"
+  "/root/repo/src/workloads/memory_workloads.cc" "src/workloads/CMakeFiles/autofsm_workloads.dir/memory_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/autofsm_workloads.dir/memory_workloads.cc.o.d"
+  "/root/repo/src/workloads/value_workloads.cc" "src/workloads/CMakeFiles/autofsm_workloads.dir/value_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/autofsm_workloads.dir/value_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/autofsm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/autofsm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofsm_workloads.dir/branch_workloads.cc.o"
+  "CMakeFiles/autofsm_workloads.dir/branch_workloads.cc.o.d"
+  "CMakeFiles/autofsm_workloads.dir/memory_workloads.cc.o"
+  "CMakeFiles/autofsm_workloads.dir/memory_workloads.cc.o.d"
+  "CMakeFiles/autofsm_workloads.dir/value_workloads.cc.o"
+  "CMakeFiles/autofsm_workloads.dir/value_workloads.cc.o.d"
+  "libautofsm_workloads.a"
+  "libautofsm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofsm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

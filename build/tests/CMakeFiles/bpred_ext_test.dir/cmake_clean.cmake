@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpred_ext_test.dir/bpred_ext_test.cc.o"
+  "CMakeFiles/bpred_ext_test.dir/bpred_ext_test.cc.o.d"
+  "bpred_ext_test"
+  "bpred_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpred_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

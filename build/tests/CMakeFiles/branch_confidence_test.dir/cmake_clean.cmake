@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_confidence_test.dir/branch_confidence_test.cc.o"
+  "CMakeFiles/branch_confidence_test.dir/branch_confidence_test.cc.o.d"
+  "branch_confidence_test"
+  "branch_confidence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_confidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

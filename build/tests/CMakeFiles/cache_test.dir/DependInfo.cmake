@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/cache_test.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/autofsm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicmin/CMakeFiles/autofsm_logicmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/autofsm_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsmgen/CMakeFiles/autofsm_fsmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/autofsm_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/autofsm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/autofsm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/autofsm_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpred/CMakeFiles/autofsm_vpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/autofsm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autofsm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfa_io_test.dir/dfa_io_test.cc.o"
+  "CMakeFiles/dfa_io_test.dir/dfa_io_test.cc.o.d"
+  "dfa_io_test"
+  "dfa_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfa_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

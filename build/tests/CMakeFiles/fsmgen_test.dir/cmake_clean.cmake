@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmgen_test.dir/fsmgen_test.cc.o"
+  "CMakeFiles/fsmgen_test.dir/fsmgen_test.cc.o.d"
+  "fsmgen_test"
+  "fsmgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logicmin_test.dir/logicmin_test.cc.o"
+  "CMakeFiles/logicmin_test.dir/logicmin_test.cc.o.d"
+  "logicmin_test"
+  "logicmin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logicmin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

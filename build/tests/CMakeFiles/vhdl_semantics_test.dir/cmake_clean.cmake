@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_semantics_test.dir/vhdl_semantics_test.cc.o"
+  "CMakeFiles/vhdl_semantics_test.dir/vhdl_semantics_test.cc.o.d"
+  "vhdl_semantics_test"
+  "vhdl_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

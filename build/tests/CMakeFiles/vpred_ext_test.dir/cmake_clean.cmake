@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpred_ext_test.dir/vpred_ext_test.cc.o"
+  "CMakeFiles/vpred_ext_test.dir/vpred_ext_test.cc.o.d"
+  "vpred_ext_test"
+  "vpred_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpred_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

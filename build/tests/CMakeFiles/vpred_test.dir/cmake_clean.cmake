@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpred_test.dir/vpred_test.cc.o"
+  "CMakeFiles/vpred_test.dir/vpred_test.cc.o.d"
+  "vpred_test"
+  "vpred_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
