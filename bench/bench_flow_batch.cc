@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Benchmarks the parallel batch design pipeline on the Figure 5
+ * workload: every hot branch of every branch benchmark is collected into
+ * one batch, designed serially (the legacy per-item path) and then via
+ * BatchDesigner at several thread counts. Verifies that every parallel
+ * result is bit-identical to the serial one, reports the wall-clock
+ * speedups, the memo-cache behavior, and the aggregate per-stage time
+ * breakdown from the FlowTraces.
+ *
+ * Usage: bench_flow_batch [branches_per_run] [max_branches_per_benchmark]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "bpred/trainer.hh"
+#include "flow/batch.hh"
+#include "support/thread_pool.hh"
+#include "workloads/branch_workloads.hh"
+
+using namespace autofsm;
+
+namespace
+{
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t branches_per_run = 400000;
+    int max_branches = 12;
+    if (argc > 1)
+        branches_per_run = static_cast<size_t>(atol(argv[1]));
+    if (argc > 2)
+        max_branches = atoi(argv[2]);
+
+    CustomTrainingOptions training;
+    training.maxCustomBranches = max_branches;
+
+    // --- Collect the Figure 5 workload: all hot branches, all programs.
+    std::vector<MarkovModel> models;
+    std::cout << "Figure 5 batch workload (" << branches_per_run
+              << " branches/run, up to " << max_branches
+              << " hot branches per benchmark):\n";
+    for (const std::string &name : branchBenchmarkNames()) {
+        const BranchTrace trace = makeBranchTrace(
+            name, WorkloadInput::Train, branches_per_run);
+        const auto candidates = collectBranchModels(trace, training);
+        for (const auto &candidate : candidates)
+            models.push_back(candidate.model);
+        std::cout << "  " << name << ": " << candidates.size()
+                  << " hot branches\n";
+    }
+    std::cout << "total batch size: " << models.size() << " machines, "
+              << ThreadPool::defaultThreadCount()
+              << " hardware threads\n\n";
+
+    FsmDesignOptions design;
+    design.order = training.historyLength;
+    design.patterns = training.patterns;
+    design.minimizer = training.minimizer;
+
+    // --- Serial baseline: the legacy one-at-a-time path.
+    const auto serial_start = std::chrono::steady_clock::now();
+    std::vector<FsmDesignResult> serial;
+    serial.reserve(models.size());
+    for (const auto &model : models)
+        serial.push_back(designFsm(model, design));
+    const double serial_ms = millisSince(serial_start);
+    std::cout << std::fixed << std::setprecision(1);
+    std::cout << "serial designFsm loop: " << serial_ms << " ms\n\n";
+
+    // --- Batch runs at increasing thread counts.
+    std::cout << std::setw(8) << "threads" << std::setw(10) << "memo"
+              << std::setw(12) << "wall ms" << std::setw(10) << "speedup"
+              << std::setw(10) << "designed" << std::setw(10) << "cached"
+              << std::setw(12) << "identical" << "\n";
+
+    std::vector<BatchItemResult> last_results;
+    for (const bool memoize : {false, true}) {
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+            BatchOptions batch;
+            batch.threads = threads;
+            batch.memoize = memoize;
+            BatchDesigner designer(design, batch);
+
+            const auto start = std::chrono::steady_clock::now();
+            const auto results = designer.designAll(models);
+            const double batch_ms = millisSince(start);
+
+            bool identical = results.size() == serial.size();
+            for (size_t i = 0; identical && i < results.size(); ++i) {
+                identical = results[i].ok &&
+                    results[i].flow.design.fsm.identical(serial[i].fsm);
+            }
+
+            std::cout << std::setw(8) << threads << std::setw(10)
+                      << (memoize ? "on" : "off") << std::setw(12)
+                      << batch_ms << std::setw(9) << std::setprecision(2)
+                      << serial_ms / (batch_ms > 0.0 ? batch_ms : 1.0)
+                      << "x" << std::setprecision(1) << std::setw(10)
+                      << designer.stats().designed << std::setw(10)
+                      << designer.stats().cacheHits << std::setw(12)
+                      << (identical ? "yes" : "NO") << "\n";
+
+            if (!identical) {
+                std::cerr << "FATAL: batch output diverged from the "
+                             "serial pipeline\n";
+                return 1;
+            }
+            last_results = results;
+        }
+    }
+
+    // --- Aggregate per-stage breakdown from the FlowTraces.
+    std::map<std::string, double> stage_ms;
+    std::map<std::string, int64_t> stage_metric;
+    for (const auto &result : last_results) {
+        for (const auto &stage : result.flow.trace.stages()) {
+            stage_ms[flowStageName(stage.stage)] += stage.millis;
+            stage_metric[flowStageName(stage.stage)] += stage.metric;
+        }
+    }
+    std::cout << "\nper-stage totals across the batch (designed items):\n";
+    for (const auto &[name, ms] : stage_ms) {
+        std::cout << "  " << std::setw(14) << std::left << name
+                  << std::right << std::setw(10) << std::setprecision(1)
+                  << ms << " ms   metric sum " << stage_metric[name]
+                  << "\n";
+    }
+    return 0;
+}

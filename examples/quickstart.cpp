@@ -13,9 +13,10 @@
  *   ./build/examples/quickstart
  */
 
+#include <iomanip>
 #include <iostream>
 
-#include "fsmgen/designer.hh"
+#include "flow/design_flow.hh"
 #include "fsmgen/predictor_fsm.hh"
 #include "synth/area.hh"
 #include "synth/vhdl.hh"
@@ -31,11 +32,15 @@ main()
         trace.push_back(c == '1');
 
     // --- 2. Run the automated design flow ------------------------------
+    // DesignFlow is the stage-oriented front door; the one-line legacy
+    // equivalent is designFromTrace(trace, options).
     FsmDesignOptions options;
     options.order = 2;                  // history length N
     options.patterns.threshold = 0.5;   // predict 1 when P[1|h] >= 1/2
     options.patterns.dontCareMass = 0.0; // keep every history specified
-    const FsmDesignResult result = designFromTrace(trace, options);
+    const DesignFlow flow(options);
+    const FlowResult run = flow.runOnTrace(trace);
+    const FsmDesignResult &result = run.design;
 
     std::cout << "trace: 0000 1000 1011 1101 1110 1111 (N = "
               << options.order << ")\n\n";
@@ -49,6 +54,16 @@ main()
                   << "] = " << model.counts(h).ones << "/"
                   << model.counts(h).total << "\n";
     }
+
+    std::cout << "\nstage trace (wall clock per pipeline stage):\n";
+    for (const auto &stage : run.trace.stages()) {
+        std::cout << "  " << std::setw(12) << std::left
+                  << flowStageName(stage.stage) << std::right << std::fixed
+                  << std::setprecision(3) << std::setw(9) << stage.millis
+                  << " ms   " << stage.metric << " " << stage.metricName
+                  << "\n";
+    }
+    std::cout.unsetf(std::ios::fixed);
 
     std::cout << "\npredict-1 set:  ";
     for (uint32_t h : result.patterns.predictOne)

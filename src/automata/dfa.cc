@@ -88,6 +88,20 @@ Dfa::equivalent(const Dfa &other) const
     return true;
 }
 
+bool
+Dfa::identical(const Dfa &other) const
+{
+    if (start_ != other.start_ || states_.size() != other.states_.size())
+        return false;
+    for (size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].next != other.states_[i].next ||
+            states_[i].output != other.states_[i].output) {
+            return false;
+        }
+    }
+    return true;
+}
+
 Dfa
 Dfa::trimUnreachable() const
 {

@@ -56,6 +56,14 @@ class Dfa
     bool equivalent(const Dfa &other) const;
 
     /**
+     * Bit-identical structural equality: same start state and the exact
+     * same numbered states, edges and outputs (stronger than
+     * equivalent(); used to check that parallel design reproduces the
+     * serial result verbatim).
+     */
+    bool identical(const Dfa &other) const;
+
+    /**
      * Drop states unreachable from the start state, renumbering the
      * survivors (stable order).
      */

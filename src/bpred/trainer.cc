@@ -1,8 +1,11 @@
 #include "bpred/trainer.hh"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
+#include "flow/batch.hh"
 #include "support/history.hh"
 
 namespace autofsm
@@ -30,9 +33,9 @@ profileBaselineMisses(const BranchTrace &trace, const BtbConfig &baseline)
     return ranked;
 }
 
-std::vector<TrainedBranch>
-trainCustomPredictors(const BranchTrace &trace,
-                      const CustomTrainingOptions &options)
+std::vector<BranchModel>
+collectBranchModels(const BranchTrace &trace,
+                    const CustomTrainingOptions &options)
 {
     const auto ranked = profileBaselineMisses(trace, options.baseline);
     const size_t count = std::min(
@@ -54,17 +57,55 @@ trainCustomPredictors(const BranchTrace &trace,
         global.push(record.taken ? 1 : 0);
     }
 
-    std::vector<TrainedBranch> trained;
-    trained.reserve(count);
+    std::vector<BranchModel> candidates;
+    candidates.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        BranchModel candidate;
+        candidate.pc = ranked[i].first;
+        candidate.baselineMisses = ranked[i].second;
+        candidate.model = std::move(models.at(candidate.pc));
+        candidates.push_back(std::move(candidate));
+    }
+    return candidates;
+}
+
+std::vector<TrainedBranch>
+trainCustomPredictors(const BranchTrace &trace,
+                      const CustomTrainingOptions &options)
+{
+    std::vector<BranchModel> candidates =
+        collectBranchModels(trace, options);
+
     FsmDesignOptions design;
     design.order = options.historyLength;
     design.patterns = options.patterns;
     design.minimizer = options.minimizer;
-    for (size_t i = 0; i < count; ++i) {
+
+    std::vector<MarkovModel> models;
+    models.reserve(candidates.size());
+    for (const auto &candidate : candidates)
+        models.push_back(candidate.model);
+
+    BatchOptions batch_options;
+    batch_options.threads = options.threads;
+    BatchDesigner designer(design, batch_options);
+    std::vector<BatchItemResult> designed = designer.designAll(models);
+
+    std::vector<TrainedBranch> trained;
+    trained.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (!designed[i].ok) {
+            // The models are built in-process at the right order, so a
+            // failure here is a programming error, not bad input.
+            throw std::runtime_error("custom predictor design failed for pc " +
+                                     std::to_string(candidates[i].pc) +
+                                     ": " + designed[i].error);
+        }
         TrainedBranch branch;
-        branch.pc = ranked[i].first;
-        branch.baselineMisses = ranked[i].second;
-        branch.design = designFsm(models.at(branch.pc), design);
+        branch.pc = candidates[i].pc;
+        branch.baselineMisses = candidates[i].baselineMisses;
+        branch.design = std::move(designed[i].flow.design);
+        branch.trace = std::move(designed[i].flow.trace);
         trained.push_back(std::move(branch));
     }
     return trained;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bpred/btb.hh"
+#include "flow/design_flow.hh"
 #include "fsmgen/designer.hh"
 #include "trace/branch_trace.hh"
 
@@ -36,6 +37,20 @@ struct CustomTrainingOptions
     MinimizeAlgo minimizer = MinimizeAlgo::Auto;
     /** Baseline used for the misprediction profile. */
     BtbConfig baseline;
+    /**
+     * Worker threads for the per-branch design fan-out (0 = one per
+     * hardware core). Results are deterministic for any value.
+     */
+    unsigned threads = 0;
+};
+
+/** One candidate branch with its trained global-history Markov model. */
+struct BranchModel
+{
+    uint64_t pc = 0;
+    /** Baseline mispredictions in the profiling run (ranking key). */
+    uint64_t baselineMisses = 0;
+    MarkovModel model{1};
 };
 
 /** One trained branch: who it is, how bad it was, and its machine. */
@@ -46,11 +61,27 @@ struct TrainedBranch
     uint64_t baselineMisses = 0;
     /** Full design-flow artifacts, including the final FSM. */
     FsmDesignResult design;
+    /** Per-stage wall-clock and state counts of this branch's design. */
+    FlowTrace trace;
 };
 
 /**
+ * Profiling + model-building front half of the training flow: rank
+ * branches by baseline mispredictions and train one global-history
+ * Markov model per selected branch (steps 1-2 of Section 7.3).
+ *
+ * @return Candidate branches sorted by decreasing baseline
+ *         mispredictions, each carrying its trained model.
+ */
+std::vector<BranchModel>
+collectBranchModels(const BranchTrace &trace,
+                    const CustomTrainingOptions &options = {});
+
+/**
  * Profile @p trace with the baseline predictor and design one FSM per
- * worst branch.
+ * worst branch. The per-branch designs are fanned out across
+ * options.threads workers via BatchDesigner; the result is bit-identical
+ * to the serial flow for any thread count.
  *
  * @return Trained branches sorted by decreasing baseline mispredictions
  *         (the order in which Figure 5 adds custom entries).

@@ -1,0 +1,142 @@
+#include "flow/batch.hh"
+
+#include <unordered_map>
+
+#include "support/thread_pool.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: a cheap, well-mixed 64-bit hash step. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+uint64_t
+markovContentHash(const MarkovModel &model)
+{
+    // The table is an unordered_map, so per-entry hashes are combined
+    // with a commutative sum to stay independent of iteration order.
+    uint64_t entries = 0;
+    for (const auto &[history, counts] : model.table()) {
+        uint64_t h = mix64(history);
+        h = mix64(h ^ counts.ones);
+        h = mix64(h ^ counts.total);
+        entries += h;
+    }
+    uint64_t hash = mix64(static_cast<uint64_t>(model.order()));
+    hash = mix64(hash ^ model.totalObservations());
+    hash = mix64(hash ^ static_cast<uint64_t>(model.distinctHistories()));
+    return mix64(hash ^ entries);
+}
+
+bool
+markovEqual(const MarkovModel &a, const MarkovModel &b)
+{
+    if (a.order() != b.order() ||
+        a.totalObservations() != b.totalObservations() ||
+        a.distinctHistories() != b.distinctHistories()) {
+        return false;
+    }
+    for (const auto &[history, counts] : a.table()) {
+        const HistoryCounts other = b.counts(history);
+        if (other.ones != counts.ones || other.total != counts.total)
+            return false;
+    }
+    return true;
+}
+
+std::vector<BatchItemResult>
+BatchDesigner::designAll(const std::vector<MarkovModel> &models)
+{
+    stats_ = BatchStats();
+    stats_.items = models.size();
+
+    // Group identical models up front: representative[i] is the index of
+    // the first item whose content equals item i. Grouping serially keeps
+    // the representative choice (and thus the output) deterministic.
+    std::vector<size_t> representative(models.size());
+    std::vector<size_t> unique;
+    unique.reserve(models.size());
+    if (options_.memoize) {
+        std::unordered_map<uint64_t, std::vector<size_t>> byHash;
+        for (size_t i = 0; i < models.size(); ++i) {
+            const uint64_t hash = markovContentHash(models[i]);
+            auto &bucket = byHash[hash];
+            size_t rep = i;
+            for (const size_t j : bucket) {
+                if (markovEqual(models[i], models[j])) {
+                    rep = j;
+                    break;
+                }
+            }
+            representative[i] = rep;
+            if (rep == i) {
+                bucket.push_back(i);
+                unique.push_back(i);
+            }
+        }
+    } else {
+        for (size_t i = 0; i < models.size(); ++i) {
+            representative[i] = i;
+            unique.push_back(i);
+        }
+    }
+
+    std::vector<BatchItemResult> results(models.size());
+    parallelFor(
+        unique.size(),
+        [&](size_t u) {
+            const size_t i = unique[u];
+            BatchItemResult &slot = results[i];
+            try {
+                slot.flow = flow_.run(models[i]);
+                slot.ok = true;
+            } catch (const std::exception &e) {
+                slot.error = e.what();
+            } catch (...) {
+                slot.error = "unknown exception in design flow";
+            }
+        },
+        options_.threads);
+
+    // Serve duplicates from their representative (including its failure,
+    // if any: an identical model would fail identically).
+    for (size_t i = 0; i < models.size(); ++i) {
+        const size_t rep = representative[i];
+        if (rep == i)
+            continue;
+        results[i] = results[rep];
+        results[i].fromCache = true;
+        ++stats_.cacheHits;
+    }
+
+    stats_.designed = unique.size();
+    for (const auto &result : results)
+        stats_.failures += !result.ok;
+    return results;
+}
+
+std::vector<BatchItemResult>
+BatchDesigner::designTraces(const std::vector<std::vector<int>> &traces)
+{
+    const int order = flow_.options().order;
+    std::vector<MarkovModel> models(traces.size(), MarkovModel(order));
+    parallelFor(
+        traces.size(),
+        [&](size_t i) { models[i].train(traces[i]); },
+        options_.threads);
+    return designAll(models);
+}
+
+} // namespace autofsm

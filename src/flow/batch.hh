@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Thread-pool-driven batch execution of the design flow.
+ *
+ * `BatchDesigner` takes N Markov models (or raw traces) — e.g. every hot
+ * branch of a Figure 5 benchmark, or all benchmarks of Figure 4 — and
+ * designs them concurrently. Guarantees:
+ *
+ *  - **Determinism**: results come back in input order and each machine is
+ *    bit-identical to what the serial `designFsm` produces, regardless of
+ *    thread count (the flow itself is single-threaded per item; threads
+ *    only partition items).
+ *  - **Memoization**: items with identical Markov model content (and the
+ *    batch shares one `FsmDesignOptions`) are designed once; duplicates
+ *    reuse the minimized DFA and are flagged `fromCache`.
+ *  - **Failure isolation**: an item that throws reports its error in its
+ *    own slot; the rest of the batch completes normally.
+ */
+
+#ifndef AUTOFSM_FLOW_BATCH_HH
+#define AUTOFSM_FLOW_BATCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/design_flow.hh"
+
+namespace autofsm
+{
+
+/**
+ * Order-independent content hash of a model (table entries, order,
+ * totals). Equal models hash equal on every platform and run; unequal
+ * models collide only with ordinary 64-bit-hash probability, and the
+ * batch designer confirms every hash match with markovEqual before
+ * reusing a result.
+ */
+uint64_t markovContentHash(const MarkovModel &model);
+
+/** Exact content equality of two models. */
+bool markovEqual(const MarkovModel &a, const MarkovModel &b);
+
+/** Execution knobs of a batch run. */
+struct BatchOptions
+{
+    /** Worker threads; 0 means ThreadPool::defaultThreadCount(). */
+    unsigned threads = 0;
+    /** Design identical models only once (content-hash memo cache). */
+    bool memoize = true;
+};
+
+/** Outcome of one batch item. */
+struct BatchItemResult
+{
+    /** False when the flow threw for this item; see error. */
+    bool ok = false;
+    /** True when the result was reused from an identical earlier item. */
+    bool fromCache = false;
+    /** what() of the captured exception when !ok. */
+    std::string error;
+    /** Design artifacts and stage observations (valid when ok). */
+    FlowResult flow;
+};
+
+/** Aggregate counters of the most recent batch run. */
+struct BatchStats
+{
+    size_t items = 0;     ///< batch size
+    size_t designed = 0;  ///< flow executions actually run
+    size_t cacheHits = 0; ///< items served from the memo cache
+    size_t failures = 0;  ///< items whose flow threw
+};
+
+/** Parallel batch front end over DesignFlow. */
+class BatchDesigner
+{
+  public:
+    explicit BatchDesigner(FsmDesignOptions design = {},
+                           BatchOptions options = {})
+        : flow_(design), options_(options)
+    {
+    }
+
+    const FsmDesignOptions &designOptions() const
+    {
+        return flow_.options();
+    }
+
+    const BatchOptions &batchOptions() const { return options_; }
+
+    /** Counters of the most recent designAll/designTraces call. */
+    const BatchStats &stats() const { return stats_; }
+
+    /**
+     * Design every model of @p models concurrently.
+     *
+     * @return One result per input, in input order.
+     */
+    std::vector<BatchItemResult>
+    designAll(const std::vector<MarkovModel> &models);
+
+    /**
+     * Train one model per trace (in parallel, at designOptions().order),
+     * then design them as designAll does.
+     */
+    std::vector<BatchItemResult>
+    designTraces(const std::vector<std::vector<int>> &traces);
+
+  private:
+    DesignFlow flow_;
+    BatchOptions options_;
+    BatchStats stats_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_FLOW_BATCH_HH

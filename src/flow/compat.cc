@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Legacy entry points of the design pipeline.
+ *
+ * `designFsm` / `designFromTrace` (declared in fsmgen/designer.hh) predate
+ * the stage-oriented DesignFlow API and remain as thin wrappers for
+ * existing callers; new code should construct a DesignFlow (or a
+ * BatchDesigner for many traces) to get stage observability on top of the
+ * same artifacts.
+ */
+
+#include "flow/design_flow.hh"
+#include "fsmgen/designer.hh"
+
+namespace autofsm
+{
+
+FsmDesignResult
+designFsm(const MarkovModel &model, const FsmDesignOptions &options)
+{
+    return DesignFlow(options).run(model).design;
+}
+
+FsmDesignResult
+designFromTrace(const std::vector<int> &trace,
+                const FsmDesignOptions &options)
+{
+    return DesignFlow(options).runOnTrace(trace).design;
+}
+
+} // namespace autofsm

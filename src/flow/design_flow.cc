@@ -1,0 +1,180 @@
+#include "flow/design_flow.hh"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+} // anonymous namespace
+
+const char *
+flowStageName(FlowStage stage)
+{
+    switch (stage) {
+      case FlowStage::Markov: return "markov";
+      case FlowStage::Patterns: return "patterns";
+      case FlowStage::Minimize: return "minimize";
+      case FlowStage::Regex: return "regex";
+      case FlowStage::Subset: return "subset";
+      case FlowStage::Hopcroft: return "hopcroft";
+      case FlowStage::StartReduce: return "start-reduce";
+    }
+    return "?";
+}
+
+const StageRecord *
+FlowTrace::find(FlowStage stage) const
+{
+    for (const auto &record : stages_) {
+        if (record.stage == stage)
+            return &record;
+    }
+    return nullptr;
+}
+
+double
+FlowTrace::totalMillis() const
+{
+    double total = 0.0;
+    for (const auto &record : stages_)
+        total += record.millis;
+    return total;
+}
+
+void
+FlowTrace::renderJson(std::ostream &out) const
+{
+    JsonWriter json(out);
+    json.beginArray();
+    for (const auto &record : stages_) {
+        json.beginObject();
+        json.key("stage").value(flowStageName(record.stage));
+        json.key("millis").value(record.millis);
+        json.key("metric").value(record.metric);
+        json.key("metricName").value(record.metricName);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+std::string
+FlowTrace::toJson() const
+{
+    std::ostringstream out;
+    renderJson(out);
+    return out.str();
+}
+
+FlowResult
+DesignFlow::run(const MarkovModel &model) const
+{
+    return runStages(model, FlowTrace());
+}
+
+FlowResult
+DesignFlow::runOnTrace(const std::vector<int> &trace) const
+{
+    const auto start = Clock::now();
+    MarkovModel model(options_.order);
+    model.train(trace);
+    FlowTrace flow_trace;
+    flow_trace.add(FlowStage::Markov, millisSince(start),
+                   static_cast<int64_t>(model.distinctHistories()),
+                   "histories");
+    return runStages(model, std::move(flow_trace));
+}
+
+FlowResult
+DesignFlow::runStages(const MarkovModel &model, FlowTrace trace) const
+{
+    if (model.order() != options_.order) {
+        throw std::invalid_argument(
+            "DesignFlow: model order " + std::to_string(model.order()) +
+            " does not match options order " +
+            std::to_string(options_.order));
+    }
+
+    FlowResult out;
+    out.trace = std::move(trace);
+    FsmDesignResult &result = out.design;
+
+    auto start = Clock::now();
+    result.patterns = definePatterns(model, options_.patterns);
+    out.trace.add(FlowStage::Patterns, millisSince(start),
+                  static_cast<int64_t>(result.patterns.predictOne.size() +
+                                       result.patterns.predictZero.size()),
+                  "specified");
+
+    start = Clock::now();
+    const TruthTable table = result.patterns.toTruthTable();
+    result.cover = minimize(table, options_.minimizer);
+    out.trace.add(FlowStage::Minimize, millisSince(start),
+                  static_cast<int64_t>(result.cover.size()), "cubes");
+
+    if (result.cover.empty()) {
+        // Nothing to predict 1 on: the constant machine. (Hopcroft would
+        // reduce the general pipeline to this anyway; short-circuiting
+        // avoids building an NFA for the empty language.) The automata
+        // stages are still recorded so every FlowTrace has the same
+        // shape and the state counts stay inspectable.
+        result.regexText = "(empty)";
+        result.beforeReduction = Dfa::constant(0);
+        result.fsm = result.beforeReduction;
+        result.statesSubset = 1;
+        result.statesHopcroft = 1;
+        result.statesFinal = 1;
+        out.trace.add(FlowStage::Regex, 0.0, 0, "terms");
+        out.trace.add(FlowStage::Subset, 0.0, 1, "states");
+        out.trace.add(FlowStage::Hopcroft, 0.0, 1, "states");
+        out.trace.add(FlowStage::StartReduce, 0.0, 1, "states");
+        return out;
+    }
+
+    start = Clock::now();
+    const Regex regex = regexFromCover(result.cover);
+    result.regexText = regex.toString();
+    out.trace.add(FlowStage::Regex, millisSince(start),
+                  static_cast<int64_t>(result.cover.size()), "terms");
+
+    start = Clock::now();
+    const Nfa nfa = Nfa::fromRegex(regex);
+    const Dfa raw = Dfa::fromNfa(nfa);
+    result.statesSubset = raw.numStates();
+    out.trace.add(FlowStage::Subset, millisSince(start),
+                  result.statesSubset, "states");
+
+    start = Clock::now();
+    result.beforeReduction = raw.minimizeHopcroft();
+    result.statesHopcroft = result.beforeReduction.numStates();
+    out.trace.add(FlowStage::Hopcroft, millisSince(start),
+                  result.statesHopcroft, "states");
+
+    start = Clock::now();
+    if (options_.keepStartupStates) {
+        result.fsm = result.beforeReduction;
+    } else {
+        result.fsm = result.beforeReduction.steadyStateReduce();
+    }
+    result.statesFinal = result.fsm.numStates();
+    out.trace.add(FlowStage::StartReduce, millisSince(start),
+                  result.statesFinal, "states");
+    return out;
+}
+
+} // namespace autofsm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Stage-oriented view of the Section 4 design flow.
+ *
+ * `DesignFlow` runs the same pipeline as the legacy `designFsm` free
+ * function (which is now a thin wrapper over it), but decomposes it into
+ * named, individually observable stages: markov (when starting from a raw
+ * trace), patterns, minimize, regex, subset construction (nfa->dfa),
+ * Hopcroft and start-state reduction. Each run yields the usual
+ * `FsmDesignResult` plus a `FlowTrace` carrying per-stage wall-clock time
+ * and a stage-specific size metric, so benches and the batch designer can
+ * report where time and states go without instrumenting the flow
+ * themselves.
+ */
+
+#ifndef AUTOFSM_FLOW_DESIGN_FLOW_HH
+#define AUTOFSM_FLOW_DESIGN_FLOW_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fsmgen/designer.hh"
+#include "fsmgen/markov.hh"
+
+namespace autofsm
+{
+
+/** The pipeline stages, in execution order. */
+enum class FlowStage
+{
+    Markov,      ///< train the Nth-order model (trace entry point only)
+    Patterns,    ///< partition histories into 1 / 0 / don't-care sets
+    Minimize,    ///< two-level logic minimization of the predict-1 set
+    Regex,       ///< cover -> (0|1)*(t1|...|tk) regular expression
+    Subset,      ///< Thompson NFA + subset construction (nfa->dfa)
+    Hopcroft,    ///< DFA minimization
+    StartReduce, ///< start-state (transient start-up) reduction
+};
+
+/** Stable lower-case name of @p stage (used in reports and JSON). */
+const char *flowStageName(FlowStage stage);
+
+/** One executed stage: how long it took and how big its product is. */
+struct StageRecord
+{
+    FlowStage stage = FlowStage::Patterns;
+    /** Wall-clock time of the stage, milliseconds. */
+    double millis = 0.0;
+    /** Stage-specific size metric (see metricName). */
+    int64_t metric = 0;
+    /** What the metric counts: "states", "cubes", "histories", ... */
+    const char *metricName = "";
+};
+
+/** The per-stage observations of one design-flow run. */
+class FlowTrace
+{
+  public:
+    void
+    add(FlowStage stage, double millis, int64_t metric,
+        const char *metric_name)
+    {
+        stages_.push_back({stage, millis, metric, metric_name});
+    }
+
+    const std::vector<StageRecord> &stages() const { return stages_; }
+
+    /** Record for @p stage, or nullptr if the stage did not run. */
+    const StageRecord *find(FlowStage stage) const;
+
+    /** Total wall-clock across all recorded stages, milliseconds. */
+    double totalMillis() const;
+
+    /** Emit as a JSON array of {stage, millis, metric, metricName}. */
+    void renderJson(std::ostream &out) const;
+    std::string toJson() const;
+
+  private:
+    std::vector<StageRecord> stages_;
+};
+
+/** One run's artifacts plus its stage observations. */
+struct FlowResult
+{
+    FsmDesignResult design;
+    FlowTrace trace;
+};
+
+/**
+ * The redesigned front door of the FSM design pipeline.
+ *
+ * A `DesignFlow` is an immutable configuration object; `run` /
+ * `runOnTrace` may be called concurrently from many threads on the same
+ * instance (the flow itself holds no mutable state).
+ */
+class DesignFlow
+{
+  public:
+    explicit DesignFlow(FsmDesignOptions options = {})
+        : options_(options)
+    {
+    }
+
+    const FsmDesignOptions &options() const { return options_; }
+
+    /**
+     * Run the flow on a pre-built Markov model.
+     *
+     * @throws std::invalid_argument if the model's order does not match
+     *         options().order (the legacy designFsm asserted instead;
+     *         throwing lets the batch designer isolate poisoned items).
+     */
+    FlowResult run(const MarkovModel &model) const;
+
+    /** Train a model on @p trace (recorded as the markov stage), then run. */
+    FlowResult runOnTrace(const std::vector<int> &trace) const;
+
+  private:
+    FlowResult runStages(const MarkovModel &model, FlowTrace trace) const;
+
+    FsmDesignOptions options_;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_FLOW_DESIGN_FLOW_HH

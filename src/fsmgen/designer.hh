@@ -7,6 +7,12 @@
  * reduction. The result carries the artifacts of every stage so examples,
  * benches and tests can inspect intermediate products (e.g. Figure 1
  * shows the machine both before and after start-state reduction).
+ *
+ * `designFsm` / `designFromTrace` are retained as thin compatibility
+ * wrappers over the stage-oriented pipeline in flow/design_flow.hh
+ * (`DesignFlow`), which additionally reports per-stage wall-clock and
+ * size metrics; batches of traces should go through flow/batch.hh
+ * (`BatchDesigner`) to get parallelism and memoization.
  */
 
 #ifndef AUTOFSM_FSMGEN_DESIGNER_HH
@@ -45,8 +51,12 @@ struct FsmDesignOptions
 struct FsmDesignResult
 {
     PatternSets patterns;
-    /** Minimized sum-of-products description of the "predict 1" set. */
-    Cover cover{1};
+    /**
+     * Minimized sum-of-products description of the "predict 1" set.
+     * Starts as an empty 1-input cover; designFsm replaces it with a
+     * cover over the N history bits.
+     */
+    Cover cover = Cover::forInputs(1);
     /** The paper-notation regular expression for the language L. */
     std::string regexText;
     /** Hopcroft-minimized machine before start-state reduction. */
@@ -62,7 +72,11 @@ struct FsmDesignResult
     /// @}
 };
 
-/** Run the design flow on a pre-built Markov model. */
+/**
+ * Run the design flow on a pre-built Markov model.
+ *
+ * @throws std::invalid_argument if model.order() != options.order.
+ */
 FsmDesignResult designFsm(const MarkovModel &model,
                           const FsmDesignOptions &options = {});
 

@@ -22,6 +22,17 @@ class Cover
   public:
     explicit Cover(int num_vars) : numVars_(num_vars) {}
 
+    /**
+     * Named constructor: an empty cover over @p num_vars input variables.
+     * Prefer this at call sites where `Cover{n}` would read as "a cover
+     * containing n" rather than "a cover of n-bit inputs".
+     */
+    static Cover
+    forInputs(int num_vars)
+    {
+        return Cover(num_vars);
+    }
+
     int numVars() const { return numVars_; }
 
     void add(const Cube &cube) { cubes_.push_back(cube); }

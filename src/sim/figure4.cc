@@ -2,6 +2,7 @@
 
 #include "bpred/trainer.hh"
 #include "support/rng.hh"
+#include "support/thread_pool.hh"
 #include "workloads/branch_workloads.hh"
 
 namespace autofsm
@@ -10,23 +11,38 @@ namespace autofsm
 Fig4Result
 runFigure4(const Fig4Options &options)
 {
+    const std::vector<std::string> names = branchBenchmarkNames();
+
+    // Fan the benchmarks out across cores. Each benchmark draws its
+    // sampling decisions from its own seed-derived RNG stream, so the
+    // sampled set does not depend on scheduling order.
+    std::vector<std::vector<AreaEstimate>> sampled(names.size());
+    parallelFor(
+        names.size(),
+        [&](size_t b) {
+            Rng rng(options.seed +
+                    0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(b + 1));
+            const BranchTrace trace = makeBranchTrace(
+                names[b], WorkloadInput::Train, options.branchesPerRun);
+            CustomTrainingOptions training;
+            training.historyLength = options.historyLength;
+            training.maxCustomBranches = options.fsmsPerBenchmark;
+            // The per-branch designs inside one benchmark run serially;
+            // parallelism lives at the benchmark level here.
+            training.threads = 1;
+            const auto trained = trainCustomPredictors(trace, training);
+            for (const auto &branch : trained) {
+                if (rng.uniform() <= options.sampleFraction)
+                    sampled[b].push_back(
+                        estimateFsmArea(branch.design.fsm));
+            }
+        },
+        options.threads);
+
     Fig4Result result;
-    Rng rng(options.seed);
-
-    for (const std::string &name : branchBenchmarkNames()) {
-        const BranchTrace trace = makeBranchTrace(
-            name, WorkloadInput::Train, options.branchesPerRun);
-        CustomTrainingOptions training;
-        training.historyLength = options.historyLength;
-        training.maxCustomBranches = options.fsmsPerBenchmark;
-        const auto trained = trainCustomPredictors(trace, training);
-        for (const auto &branch : trained) {
-            if (rng.uniform() <= options.sampleFraction)
-                result.samples.push_back(
-                    estimateFsmArea(branch.design.fsm));
-        }
-    }
-
+    for (const auto &per_benchmark : sampled)
+        result.samples.insert(result.samples.end(), per_benchmark.begin(),
+                              per_benchmark.end());
     result.fit = fitAreaLine(result.samples);
     return result;
 }

@@ -41,6 +41,12 @@ struct Fig4Options
     uint64_t seed = 0xF16;
     /** Global history length for training (paper: 9). */
     int historyLength = 9;
+    /**
+     * Worker threads for the per-benchmark fan-out (0 = one per hardware
+     * core). Each benchmark samples from its own seed-derived RNG stream,
+     * so results are deterministic for any thread count.
+     */
+    unsigned threads = 0;
 };
 
 /**

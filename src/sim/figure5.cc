@@ -7,6 +7,7 @@
 #include "bpred/gshare.hh"
 #include "bpred/local_global.hh"
 #include "bpred/simulate.hh"
+#include "support/thread_pool.hh"
 #include "synth/area.hh"
 #include "workloads/branch_workloads.hh"
 
@@ -139,9 +140,16 @@ runFigure5(const std::string &benchmark, const Fig5Options &options)
 std::vector<Fig5Benchmark>
 runFigure5All(const Fig5Options &options)
 {
-    std::vector<Fig5Benchmark> all;
-    for (const std::string &name : branchBenchmarkNames())
-        all.push_back(runFigure5(name, options));
+    const std::vector<std::string> names = branchBenchmarkNames();
+    std::vector<Fig5Benchmark> all(names.size());
+    // One benchmark per task; the per-branch design fan-out inside each
+    // benchmark stays serial to avoid nested oversubscription.
+    Fig5Options per_benchmark = options;
+    per_benchmark.training.threads = 1;
+    parallelFor(
+        names.size(),
+        [&](size_t i) { all[i] = runFigure5(names[i], per_benchmark); },
+        options.threads);
     return all;
 }
 

@@ -55,6 +55,12 @@ struct Fig5Options
     std::vector<int> lgcLog2 = {8, 10, 12, 13};
     /** Custom-curve training knobs (history 9, as in the paper). */
     CustomTrainingOptions training;
+    /**
+     * Worker threads runFigure5All uses to fan benchmarks out
+     * (0 = one per hardware core). Per-benchmark results are independent
+     * and collected in name order, so output is thread-count invariant.
+     */
+    unsigned threads = 0;
 };
 
 /**

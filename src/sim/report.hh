@@ -1,14 +1,21 @@
 /**
  * @file
- * Plain-text reporting of the experiment results: fixed-width tables
- * whose rows/series mirror the paper's figures, consumed by the bench
- * binaries and examples.
+ * Reporting of the experiment results.
+ *
+ * A `Report` wraps one figure's data and renders it two ways: the
+ * historical fixed-width text tables (renderText) and a machine-diffable
+ * JSON document (renderJson / toJson), so bench output can be consumed by
+ * scripts and compared across runs. The legacy `printFig2/4/5` free
+ * functions remain as one-release compatibility wrappers over the text
+ * renderer.
  */
 
 #ifndef AUTOFSM_SIM_REPORT_HH
 #define AUTOFSM_SIM_REPORT_HH
 
 #include <iosfwd>
+#include <string>
+#include <utility>
 
 #include "sim/figure2.hh"
 #include "sim/figure4.hh"
@@ -17,14 +24,83 @@
 namespace autofsm
 {
 
-/** Print one Figure 2 panel (accuracy/coverage table). */
+/** Dual-format (text + JSON) renderer of one experiment result. */
+class Report
+{
+  public:
+    virtual ~Report() = default;
+
+    /** Short machine-readable identifier, e.g. "figure5". */
+    virtual std::string kind() const = 0;
+
+    /** The historical fixed-width table rendering. */
+    virtual void renderText(std::ostream &out) const = 0;
+
+    /** One self-contained JSON object describing the result. */
+    virtual void renderJson(std::ostream &out) const = 0;
+
+    /** renderText into a string. */
+    std::string toText() const;
+
+    /** renderJson into a string. */
+    std::string toJson() const;
+};
+
+/** Figure 2 (accuracy/coverage) report for one benchmark. */
+class Fig2Report final : public Report
+{
+  public:
+    explicit Fig2Report(Fig2Benchmark data) : data_(std::move(data)) {}
+
+    std::string kind() const override { return "figure2"; }
+    void renderText(std::ostream &out) const override;
+    void renderJson(std::ostream &out) const override;
+
+    const Fig2Benchmark &data() const { return data_; }
+
+  private:
+    Fig2Benchmark data_;
+};
+
+/** Figure 4 (area vs states scatter + fit) report. */
+class Fig4Report final : public Report
+{
+  public:
+    explicit Fig4Report(Fig4Result data) : data_(std::move(data)) {}
+
+    std::string kind() const override { return "figure4"; }
+    void renderText(std::ostream &out) const override;
+    void renderJson(std::ostream &out) const override;
+
+    const Fig4Result &data() const { return data_; }
+
+  private:
+    Fig4Result data_;
+};
+
+/** Figure 5 (miss rate vs area) report for one benchmark. */
+class Fig5Report final : public Report
+{
+  public:
+    explicit Fig5Report(Fig5Benchmark data) : data_(std::move(data)) {}
+
+    std::string kind() const override { return "figure5"; }
+    void renderText(std::ostream &out) const override;
+    void renderJson(std::ostream &out) const override;
+
+    const Fig5Benchmark &data() const { return data_; }
+
+  private:
+    Fig5Benchmark data_;
+};
+
+/** @name Legacy printers (deprecated one-release wrappers).
+ *  Equivalent to FigNReport(benchmark).renderText(out). */
+/// @{
 void printFig2(std::ostream &out, const Fig2Benchmark &benchmark);
-
-/** Print the Figure 4 scatter and fitted line. */
 void printFig4(std::ostream &out, const Fig4Result &result);
-
-/** Print one Figure 5 panel (area / miss-rate series). */
 void printFig5(std::ostream &out, const Fig5Benchmark &benchmark);
+/// @}
 
 } // namespace autofsm
 

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * A minimal streaming JSON writer.
+ *
+ * The reporting layer (sim/report) and the design-flow traces emit
+ * machine-diffable JSON with this; no external dependency, deterministic
+ * formatting (fixed "%.12g" doubles, no locale influence, no insignificant
+ * whitespace). The writer tracks nesting and inserts commas itself; the
+ * caller is responsible for well-formed begin/end pairing.
+ */
+
+#ifndef AUTOFSM_SUPPORT_JSON_HH
+#define AUTOFSM_SUPPORT_JSON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autofsm
+{
+
+/** Escape @p text for inclusion inside a JSON string literal. */
+inline std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Comma-managing JSON emitter over an ostream. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        separate();
+        out_ << '{';
+        nesting_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        nesting_.pop_back();
+        out_ << '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        separate();
+        out_ << '[';
+        nesting_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        nesting_.pop_back();
+        out_ << ']';
+        return *this;
+    }
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &
+    key(std::string_view name)
+    {
+        separate();
+        out_ << '"' << jsonEscape(name) << "\":";
+        afterKey_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::string_view text)
+    {
+        separate();
+        out_ << '"' << jsonEscape(text) << '"';
+        return *this;
+    }
+
+    JsonWriter &value(const char *text)
+    {
+        return value(std::string_view(text));
+    }
+
+    JsonWriter &value(const std::string &text)
+    {
+        return value(std::string_view(text));
+    }
+
+    JsonWriter &
+    value(double number)
+    {
+        separate();
+        if (std::isfinite(number)) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.12g", number);
+            out_ << buf;
+        } else {
+            out_ << "null"; // JSON has no NaN/Inf
+        }
+        return *this;
+    }
+
+    JsonWriter &
+    value(int64_t number)
+    {
+        separate();
+        out_ << number;
+        return *this;
+    }
+
+    JsonWriter &
+    value(uint64_t number)
+    {
+        separate();
+        out_ << number;
+        return *this;
+    }
+
+    JsonWriter &value(int number) { return value(int64_t{number}); }
+
+    JsonWriter &value(unsigned number) { return value(uint64_t{number}); }
+
+    JsonWriter &
+    value(bool flag)
+    {
+        separate();
+        out_ << (flag ? "true" : "false");
+        return *this;
+    }
+
+  private:
+    /** Insert the comma owed by the previous sibling, if any. */
+    void
+    separate()
+    {
+        if (afterKey_) {
+            afterKey_ = false;
+            return; // the key already separated us
+        }
+        if (!nesting_.empty()) {
+            if (nesting_.back())
+                out_ << ',';
+            nesting_.back() = true;
+        }
+    }
+
+    std::ostream &out_;
+    std::vector<bool> nesting_;
+    bool afterKey_ = false;
+};
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SUPPORT_JSON_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * A small fixed-size thread pool and a blocking parallel-for built on it.
+ *
+ * The batch design pipeline (src/flow) fans per-branch FSM design work out
+ * across cores with these utilities. Tasks are coarse (a whole design-flow
+ * run each), so the implementation favors simplicity over lock-free
+ * cleverness: one mutex-protected queue, dynamic index claiming for load
+ * balance, and deterministic exception reporting (the lowest-index failure
+ * wins, independent of thread scheduling).
+ */
+
+#ifndef AUTOFSM_SUPPORT_THREAD_POOL_HH
+#define AUTOFSM_SUPPORT_THREAD_POOL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autofsm
+{
+
+/** Fixed-size worker pool; jobs are arbitrary void() callables. */
+class ThreadPool
+{
+  public:
+    /** Hardware concurrency with a floor of 1 (it may report 0). */
+    static unsigned
+    defaultThreadCount()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+
+    /** @param threads Worker count; 0 means defaultThreadCount(). */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        const unsigned count = threads ? threads : defaultThreadCount();
+        workers_.reserve(count);
+        for (unsigned i = 0; i < count; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue @p job; it runs on some worker, in FIFO order. */
+    void
+    submit(std::function<void()> job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(job));
+        }
+        wake_.notify_one();
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return; // stopping and drained
+                job = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            job();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run fn(0) ... fn(count-1) on @p pool and block until all are done.
+ *
+ * Indices are claimed dynamically, so uneven per-item cost balances
+ * across workers. Callers must make fn(i) touch only per-index state (or
+ * synchronize themselves). Every index runs even if an earlier one threw;
+ * afterwards the exception of the *lowest* failing index is rethrown —
+ * deterministic regardless of interleaving.
+ */
+template <typename Fn>
+void
+parallelForOn(ThreadPool &pool, size_t count, const Fn &fn)
+{
+    if (count == 0)
+        return;
+    if (pool.threadCount() <= 1 || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    struct Shared
+    {
+        std::atomic<size_t> next{0};
+        std::mutex mutex;
+        std::condition_variable done;
+        size_t running = 0;
+        size_t firstBadIndex = 0;
+        std::exception_ptr error;
+    } shared;
+
+    const size_t jobs =
+        std::min<size_t>(pool.threadCount(), count);
+    {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.running = jobs;
+    }
+
+    auto body = [count, &fn, &shared] {
+        size_t i;
+        while ((i = shared.next.fetch_add(1)) < count) {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(shared.mutex);
+                if (!shared.error || i < shared.firstBadIndex) {
+                    shared.error = std::current_exception();
+                    shared.firstBadIndex = i;
+                }
+            }
+        }
+        // Notify while holding the mutex: the waiter destroys `shared`
+        // as soon as it observes running == 0, so an unlocked notify
+        // could touch a dead condition variable.
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (--shared.running == 0)
+            shared.done.notify_all();
+    };
+
+    for (size_t j = 0; j < jobs; ++j)
+        pool.submit(body);
+
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    shared.done.wait(lock, [&shared] { return shared.running == 0; });
+    if (shared.error)
+        std::rethrow_exception(shared.error);
+}
+
+/**
+ * Convenience parallel-for with a transient pool.
+ *
+ * @param threads Worker count; 0 means defaultThreadCount(). With one
+ *        worker (or one item) the calls run inline on this thread.
+ */
+template <typename Fn>
+void
+parallelFor(size_t count, const Fn &fn, unsigned threads = 0)
+{
+    const unsigned resolved =
+        threads ? threads : ThreadPool::defaultThreadCount();
+    if (resolved <= 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(resolved);
+    parallelForOn(pool, count, fn);
+}
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SUPPORT_THREAD_POOL_HH

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests of the batch design pipeline: the thread-pool utilities, the
+ * stage-oriented DesignFlow (equivalence with the legacy designFsm), and
+ * the BatchDesigner guarantees — thread-count-invariant determinism,
+ * memo-cache reuse of identical models, and per-item failure isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "flow/batch.hh"
+#include "flow/design_flow.hh"
+#include "fsmgen/designer.hh"
+#include "support/rng.hh"
+#include "support/thread_pool.hh"
+
+namespace autofsm
+{
+namespace
+{
+
+/** The Section 4 worked-example trace. */
+std::vector<int>
+paperTrace()
+{
+    std::vector<int> trace;
+    for (char c : std::string("000010001011110111101111"))
+        trace.push_back(c == '1');
+    return trace;
+}
+
+/** A family of deterministic pseudo-random behavior traces. */
+std::vector<std::vector<int>>
+syntheticTraces(size_t count, size_t length)
+{
+    std::vector<std::vector<int>> traces;
+    traces.reserve(count);
+    for (size_t t = 0; t < count; ++t) {
+        Rng rng(0xABCDEF ^ (t * 7919));
+        std::vector<int> trace;
+        trace.reserve(length);
+        // Mix of biased, alternating and correlated stretches so the
+        // designed machines differ meaningfully across traces.
+        for (size_t i = 0; i < length; ++i) {
+            const int mode = static_cast<int>((i / 64 + t) % 3);
+            int bit;
+            if (mode == 0)
+                bit = rng.uniform() < 0.8;
+            else if (mode == 1)
+                bit = static_cast<int>(i & 1);
+            else
+                bit = i >= 2 ? (trace[i - 2] ^ 1) : 1;
+            trace.push_back(bit);
+        }
+        traces.push_back(std::move(trace));
+    }
+    return traces;
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        std::vector<std::atomic<int>> hits(257);
+        for (auto &h : hits)
+            h = 0;
+        parallelFor(hits.size(),
+                    [&](size_t i) { hits[i].fetch_add(1); }, threads);
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOneItems)
+{
+    int calls = 0;
+    parallelFor(0, [&](size_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, [&](size_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesLowestIndexException)
+{
+    try {
+        parallelFor(
+            100,
+            [](size_t i) {
+                if (i == 17 || i == 63)
+                    throw std::runtime_error("boom " + std::to_string(i));
+            },
+            4);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 17");
+    }
+}
+
+TEST(ThreadPoolTest, PoolRunsSubmittedJobs)
+{
+    std::atomic<int> sum{0};
+    {
+        ThreadPool pool(3);
+        EXPECT_EQ(pool.threadCount(), 3u);
+        for (int i = 1; i <= 10; ++i)
+            pool.submit([&sum, i] { sum.fetch_add(i); });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(DesignFlowTest, MatchesLegacyDesignerOnPaperExample)
+{
+    FsmDesignOptions options;
+    options.order = 2;
+    options.patterns.dontCareMass = 0.0;
+
+    const FsmDesignResult legacy = designFromTrace(paperTrace(), options);
+    const FlowResult flow = DesignFlow(options).runOnTrace(paperTrace());
+
+    EXPECT_TRUE(flow.design.fsm.identical(legacy.fsm));
+    EXPECT_TRUE(
+        flow.design.beforeReduction.identical(legacy.beforeReduction));
+    EXPECT_EQ(flow.design.regexText, legacy.regexText);
+    EXPECT_EQ(flow.design.statesSubset, legacy.statesSubset);
+    EXPECT_EQ(flow.design.statesHopcroft, legacy.statesHopcroft);
+    EXPECT_EQ(flow.design.statesFinal, legacy.statesFinal);
+}
+
+TEST(DesignFlowTest, TraceRecordsEveryStage)
+{
+    FsmDesignOptions options;
+    options.order = 2;
+    options.patterns.dontCareMass = 0.0;
+    const FlowResult flow = DesignFlow(options).runOnTrace(paperTrace());
+
+    for (FlowStage stage :
+         {FlowStage::Markov, FlowStage::Patterns, FlowStage::Minimize,
+          FlowStage::Regex, FlowStage::Subset, FlowStage::Hopcroft,
+          FlowStage::StartReduce}) {
+        const StageRecord *record = flow.trace.find(stage);
+        ASSERT_NE(record, nullptr) << flowStageName(stage);
+        EXPECT_GE(record->millis, 0.0);
+    }
+    EXPECT_EQ(flow.trace.find(FlowStage::Subset)->metric,
+              flow.design.statesSubset);
+    EXPECT_EQ(flow.trace.find(FlowStage::Hopcroft)->metric,
+              flow.design.statesHopcroft);
+    EXPECT_EQ(flow.trace.find(FlowStage::StartReduce)->metric,
+              flow.design.statesFinal);
+    EXPECT_GE(flow.trace.totalMillis(), 0.0);
+
+    const std::string json = flow.trace.toJson();
+    EXPECT_NE(json.find("\"stage\":\"hopcroft\""), std::string::npos);
+    EXPECT_NE(json.find("\"metricName\":\"states\""), std::string::npos);
+}
+
+TEST(DesignFlowTest, RecordsStagesForConstantMachine)
+{
+    FsmDesignOptions options;
+    options.order = 2;
+    // An all-zero trace yields an empty predict-1 cover.
+    const FlowResult flow =
+        DesignFlow(options).runOnTrace(std::vector<int>(64, 0));
+    EXPECT_EQ(flow.design.statesFinal, 1);
+    ASSERT_NE(flow.trace.find(FlowStage::StartReduce), nullptr);
+    EXPECT_EQ(flow.trace.find(FlowStage::StartReduce)->metric, 1);
+}
+
+TEST(DesignFlowTest, MismatchedOrderThrows)
+{
+    MarkovModel model(3);
+    model.train(paperTrace());
+    FsmDesignOptions options;
+    options.order = 2;
+    EXPECT_THROW(DesignFlow(options).run(model), std::invalid_argument);
+}
+
+TEST(MarkovHashTest, EqualContentHashesEqual)
+{
+    MarkovModel a(2), b(2);
+    a.train(paperTrace());
+    b.train(paperTrace());
+    EXPECT_EQ(markovContentHash(a), markovContentHash(b));
+    EXPECT_TRUE(markovEqual(a, b));
+
+    MarkovModel c(2);
+    c.train(std::vector<int>(32, 1));
+    EXPECT_NE(markovContentHash(a), markovContentHash(c));
+    EXPECT_FALSE(markovEqual(a, c));
+}
+
+TEST(BatchDesignerTest, DeterministicAcrossThreadCounts)
+{
+    const auto traces = syntheticTraces(9, 600);
+    FsmDesignOptions options;
+    options.order = 4;
+
+    // Serial reference through the legacy wrapper.
+    std::vector<FsmDesignResult> reference;
+    for (const auto &trace : traces)
+        reference.push_back(designFromTrace(trace, options));
+
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        BatchOptions batch;
+        batch.threads = threads;
+        BatchDesigner designer(options, batch);
+        const auto results = designer.designTraces(traces);
+        ASSERT_EQ(results.size(), traces.size());
+        for (size_t i = 0; i < results.size(); ++i) {
+            ASSERT_TRUE(results[i].ok) << results[i].error;
+            const FsmDesignResult &got = results[i].flow.design;
+            EXPECT_TRUE(got.fsm.identical(reference[i].fsm))
+                << "threads=" << threads << " item=" << i;
+            EXPECT_EQ(got.regexText, reference[i].regexText);
+            EXPECT_EQ(got.statesFinal, reference[i].statesFinal);
+        }
+    }
+}
+
+TEST(BatchDesignerTest, IdenticalModelsDesignOnce)
+{
+    MarkovModel model(3);
+    model.train(syntheticTraces(1, 500)[0]);
+    MarkovModel other(3);
+    other.train(std::vector<int>(200, 1));
+
+    FsmDesignOptions options;
+    options.order = 3;
+    BatchDesigner designer(options);
+    const auto results =
+        designer.designAll({model, model, other, model});
+
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &result : results)
+        EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(designer.stats().items, 4u);
+    EXPECT_EQ(designer.stats().designed, 2u);
+    EXPECT_EQ(designer.stats().cacheHits, 2u);
+    EXPECT_FALSE(results[0].fromCache);
+    EXPECT_TRUE(results[1].fromCache);
+    EXPECT_FALSE(results[2].fromCache);
+    EXPECT_TRUE(results[3].fromCache);
+    EXPECT_TRUE(
+        results[1].flow.design.fsm.identical(results[0].flow.design.fsm));
+    EXPECT_TRUE(
+        results[3].flow.design.fsm.identical(results[0].flow.design.fsm));
+}
+
+TEST(BatchDesignerTest, MemoizationCanBeDisabled)
+{
+    MarkovModel model(2);
+    model.train(paperTrace());
+    BatchOptions batch;
+    batch.memoize = false;
+    FsmDesignOptions options;
+    options.order = 2;
+    BatchDesigner designer(options, batch);
+    const auto results = designer.designAll({model, model});
+    EXPECT_EQ(designer.stats().designed, 2u);
+    EXPECT_EQ(designer.stats().cacheHits, 0u);
+    EXPECT_TRUE(
+        results[1].flow.design.fsm.identical(results[0].flow.design.fsm));
+}
+
+TEST(BatchDesignerTest, PoisonedItemDoesNotSinkBatch)
+{
+    MarkovModel good(2);
+    good.train(paperTrace());
+    MarkovModel poison(5); // wrong order for the batch's options
+    poison.train(paperTrace());
+
+    FsmDesignOptions options;
+    options.order = 2;
+    BatchDesigner designer(options);
+    const auto results = designer.designAll({good, poison, good});
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("order"), std::string::npos);
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_EQ(designer.stats().failures, 1u);
+    EXPECT_TRUE(
+        results[2].flow.design.fsm.identical(results[0].flow.design.fsm));
+}
+
+} // anonymous namespace
+} // namespace autofsm
