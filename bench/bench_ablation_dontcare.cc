@@ -17,6 +17,8 @@
 #include "support/history.hh"
 #include "workloads/branch_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 namespace
@@ -46,9 +48,9 @@ fsmMissRate(const Dfa &fsm, uint64_t pc, const BranchTrace &trace)
 int
 main(int argc, char **argv)
 {
-    size_t branches = 200000;
-    if (argc > 1)
-        branches = static_cast<size_t>(atol(argv[1]));
+    const auto args = bench::parseBenchArgs(argc, argv, "[branches_per_run]");
+    const size_t branches =
+        static_cast<size_t>(args.positionalOr(0, 200000));
 
     const std::vector<double> masses = {0.0, 0.005, 0.01, 0.02, 0.05};
 
@@ -89,5 +91,6 @@ main(int argc, char **argv)
         for (double mass : masses)
             report(mass, true);
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

@@ -14,6 +14,8 @@
 #include "fsmgen/predictor_fsm.hh"
 #include "workloads/branch_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 namespace
@@ -41,9 +43,9 @@ fsmMissRate(const Dfa &fsm, uint64_t pc, const BranchTrace &trace)
 int
 main(int argc, char **argv)
 {
-    size_t branches = 200000;
-    if (argc > 1)
-        branches = static_cast<size_t>(atol(argv[1]));
+    const auto args = bench::parseBenchArgs(argc, argv, "[branches_per_run]");
+    const size_t branches =
+        static_cast<size_t>(args.positionalOr(0, 200000));
 
     std::cout << "Ablation: history length vs accuracy "
                  "(Section 4.2: no need past N = 10)\n\n";
@@ -74,5 +76,6 @@ main(int argc, char **argv)
         }
         std::cout << "\n";
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

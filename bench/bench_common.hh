@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Shared argv handling for the plain-main benches.
+ *
+ * Every non-google-benchmark harness takes a handful of positional
+ * numbers plus the same optional flags; this header centralizes the
+ * parsing (it used to be copy-pasted per bench) and plugs the telemetry
+ * exporters in behind `--metrics-out`:
+ *
+ *     bench_foo [positional...] [--threads=N] [--seed=N]
+ *               [--metrics-out=FILE] [--metrics-format=json|prom]
+ *
+ * When `--metrics-format` is omitted it is inferred from the output
+ * path: a `.prom` extension selects the Prometheus text format,
+ * anything else JSON. Call `exportMetricsIfRequested` once at the end
+ * of main to write the global registry's snapshot.
+ */
+
+#ifndef AUTOFSM_BENCH_COMMON_HH
+#define AUTOFSM_BENCH_COMMON_HH
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+
+namespace autofsm::bench
+{
+
+struct BenchOptions
+{
+    /** Bare numeric arguments, in order (meaning is per-bench). */
+    std::vector<long> positional;
+    /** The same arguments, unparsed (for string positionals). */
+    std::vector<std::string> positionalRaw;
+    /** --threads=N; 0 means "use the harness default". */
+    unsigned threads = 0;
+    bool threadsSet = false;
+    /** --seed=N. */
+    uint64_t seed = 0;
+    bool seedSet = false;
+    /** --metrics-out=FILE; empty means no export. */
+    std::string metricsOut;
+    /** "json" or "prom" (set explicitly or inferred from metricsOut). */
+    std::string metricsFormat = "json";
+
+    /** positional[i] as long, or @p fallback when absent. */
+    long
+    positionalOr(size_t i, long fallback) const
+    {
+        return i < positional.size() ? positional[i] : fallback;
+    }
+
+    /** positionalRaw[i], or @p fallback when absent. */
+    std::string
+    positionalOr(size_t i, const char *fallback) const
+    {
+        return i < positionalRaw.size() ? positionalRaw[i]
+                                        : std::string(fallback);
+    }
+};
+
+inline bool
+consumeFlag(std::string_view arg, std::string_view prefix,
+            std::string_view &value)
+{
+    if (arg.substr(0, prefix.size()) != prefix)
+        return false;
+    value = arg.substr(prefix.size());
+    return true;
+}
+
+/**
+ * Parse argv. On `-h`/`--help` or a malformed flag, prints @p usage
+ * (plus the shared flag help) and exits — benches have no cleanup that
+ * would make error-return plumbing worth the duplication.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv, const char *usage)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        std::string_view value;
+        if (arg == "-h" || arg == "--help") {
+            std::cout << "usage: " << argv[0] << " " << usage << "\n"
+                      << "  [--threads=N] [--seed=N]\n"
+                         "  [--metrics-out=FILE] "
+                         "[--metrics-format=json|prom]\n";
+            std::exit(0);
+        } else if (consumeFlag(arg, "--threads=", value)) {
+            options.threads = static_cast<unsigned>(
+                std::strtoul(std::string(value).c_str(), nullptr, 10));
+            options.threadsSet = true;
+        } else if (consumeFlag(arg, "--seed=", value)) {
+            options.seed = std::strtoull(std::string(value).c_str(),
+                                         nullptr, 10);
+            options.seedSet = true;
+        } else if (consumeFlag(arg, "--metrics-out=", value)) {
+            options.metricsOut = std::string(value);
+        } else if (consumeFlag(arg, "--metrics-format=", value)) {
+            options.metricsFormat = std::string(value);
+        } else if (!arg.empty() && arg[0] == '-' &&
+                   !(arg.size() > 1 &&
+                     (std::isdigit(static_cast<unsigned char>(arg[1])) !=
+                      0))) {
+            std::cerr << argv[0] << ": unknown flag '" << arg << "'\n"
+                      << "usage: " << argv[0] << " " << usage << "\n";
+            std::exit(2);
+        } else {
+            options.positional.push_back(
+                std::strtol(std::string(arg).c_str(), nullptr, 10));
+            options.positionalRaw.emplace_back(arg);
+        }
+    }
+
+    if (options.metricsFormat != "json" && options.metricsFormat != "prom") {
+        std::cerr << argv[0] << ": --metrics-format must be json or prom\n";
+        std::exit(2);
+    }
+    if (!options.metricsOut.empty() &&
+        options.metricsOut.size() >= 5 &&
+        options.metricsOut.compare(options.metricsOut.size() - 5, 5,
+                                   ".prom") == 0) {
+        options.metricsFormat = "prom";
+    }
+    return options;
+}
+
+/**
+ * Write the global registry's snapshot to options.metricsOut (no-op
+ * when the flag was not given). Returns false and warns on I/O failure
+ * so benches can surface it without aborting their report.
+ */
+inline bool
+exportMetricsIfRequested(const BenchOptions &options)
+{
+    if (options.metricsOut.empty())
+        return true;
+    const obs::MetricsSnapshot snapshot = obs::globalMetrics().snapshot();
+    std::ofstream out(options.metricsOut);
+    if (!out) {
+        std::cerr << "warning: cannot open " << options.metricsOut
+                  << " for metrics export\n";
+        return false;
+    }
+    if (options.metricsFormat == "prom")
+        obs::renderPrometheusText(out, snapshot);
+    else
+        obs::renderMetricsJson(out, snapshot);
+    out.flush();
+    if (!out) {
+        std::cerr << "warning: short write to " << options.metricsOut
+                  << "\n";
+        return false;
+    }
+    std::cerr << "metrics (" << options.metricsFormat << ") -> "
+              << options.metricsOut << "\n";
+    return true;
+}
+
+} // namespace autofsm::bench
+
+#endif // AUTOFSM_BENCH_COMMON_HH

@@ -23,6 +23,8 @@
 #include "bpred/trainer.hh"
 #include "workloads/branch_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 namespace
@@ -150,12 +152,13 @@ ppmSection(size_t branches)
 int
 main(int argc, char **argv)
 {
-    size_t branches = 200000;
-    if (argc > 1)
-        branches = static_cast<size_t>(atol(argv[1]));
+    const auto args = bench::parseBenchArgs(argc, argv, "[branches_per_run]");
+    const size_t branches =
+        static_cast<size_t>(args.positionalOr(0, 200000));
 
     std::cout << "Extension baselines around Figure 5\n\n";
     ppmSection(branches);
     loopSection(branches);
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

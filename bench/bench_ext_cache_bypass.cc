@@ -18,14 +18,16 @@
 #include "fsmgen/designer.hh"
 #include "workloads/memory_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 int
 main(int argc, char **argv)
 {
-    size_t accesses = 200000;
-    if (argc > 1)
-        accesses = static_cast<size_t>(atol(argv[1]));
+    const auto args = bench::parseBenchArgs(argc, argv, "[accesses_per_run]");
+    const size_t accesses =
+        static_cast<size_t>(args.positionalOr(0, 200000));
 
     CacheConfig cache; // 16 KiB: 128 sets x 4 ways x 32 B
     const int log2_entries = 8;
@@ -71,5 +73,6 @@ main(int argc, char **argv)
                       static_cast<double>(fsm_r.accesses)
                   << "%\n";
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

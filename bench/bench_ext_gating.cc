@@ -22,6 +22,8 @@
 #include "fsmgen/designer.hh"
 #include "workloads/branch_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 namespace
@@ -44,9 +46,9 @@ printRow(const std::string &bench, const std::string &scheme,
 int
 main(int argc, char **argv)
 {
-    size_t branches = 200000;
-    if (argc > 1)
-        branches = static_cast<size_t>(atol(argv[1]));
+    const auto args = bench::parseBenchArgs(argc, argv, "[branches_per_run]");
+    const size_t branches =
+        static_cast<size_t>(args.positionalOr(0, 200000));
     const int log2_entries = 10;
 
     std::cout << "Extension: branch confidence for pipeline gating "
@@ -103,5 +105,6 @@ main(int argc, char **argv)
         }
         std::cout << "\n";
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

@@ -20,14 +20,16 @@
 #include "bpred/simulate.hh"
 #include "workloads/branch_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 int
 main(int argc, char **argv)
 {
-    size_t branches = 200000;
-    if (argc > 1)
-        branches = static_cast<size_t>(atol(argv[1]));
+    const auto args = bench::parseBenchArgs(argc, argv, "[branches_per_run]");
+    const size_t branches =
+        static_cast<size_t>(args.positionalOr(0, 200000));
 
     std::cout << "Extension: automatically designed general-purpose "
                  "counters vs the 2-bit counter\n"
@@ -70,5 +72,6 @@ main(int argc, char **argv)
         }
         std::cout << std::setw(10) << last_states << "\n";
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

@@ -22,6 +22,8 @@
 #include "vpred/conf_sim.hh"
 #include "workloads/value_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 namespace
@@ -47,9 +49,9 @@ utility(const ConfidenceResult &r, const Policy &policy)
 int
 main(int argc, char **argv)
 {
-    size_t loads = 150000;
-    if (argc > 1)
-        loads = static_cast<size_t>(atol(argv[1]));
+    const auto args = bench::parseBenchArgs(argc, argv, "[loads_per_run]");
+    const size_t loads =
+        static_cast<size_t>(args.positionalOr(0, 150000));
 
     const StrideConfig stride;
     const Policy policies[] = {
@@ -126,5 +128,6 @@ main(int argc, char **argv)
                       << std::setprecision(2) << best_fsm_thr << ")\n";
         }
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

@@ -25,14 +25,16 @@
 #include "vpred/last_value.hh"
 #include "workloads/value_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 int
 main(int argc, char **argv)
 {
-    size_t loads = 100000;
-    if (argc > 1)
-        loads = static_cast<size_t>(atol(argv[1]));
+    const auto args = bench::parseBenchArgs(argc, argv, "[loads_per_run]");
+    const size_t loads =
+        static_cast<size_t>(args.positionalOr(0, 100000));
 
     using Factory = std::function<std::unique_ptr<ValuePredictor>()>;
     const std::pair<const char *, Factory> kinds[] = {
@@ -87,5 +89,6 @@ main(int argc, char **argv)
                       << "\n";
         }
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

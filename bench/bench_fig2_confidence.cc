@@ -16,6 +16,8 @@
 #include "sim/report.hh"
 #include "workloads/value_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 namespace
@@ -48,9 +50,10 @@ bestCoverageAt(const std::vector<ParetoSeries> &series, double accuracy)
 int
 main(int argc, char **argv)
 {
+    const auto args = bench::parseBenchArgs(argc, argv, "[loads_per_benchmark]");
     Fig2Options options;
-    if (argc > 1)
-        options.loadsPerBenchmark = static_cast<size_t>(atol(argv[1]));
+    options.loadsPerBenchmark = static_cast<size_t>(args.positionalOr(
+        0, static_cast<long>(options.loadsPerBenchmark)));
 
     std::cout << "Reproduction of Figure 2 (Sherwood & Calder, ISCA'01)\n"
               << "loads per benchmark: " << options.loadsPerBenchmark
@@ -71,5 +74,6 @@ main(int argc, char **argv)
         }
         std::cout << "\n";
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

@@ -14,14 +14,21 @@
 #include "sim/figure4.hh"
 #include "sim/report.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 int
 main(int argc, char **argv)
 {
+    const auto args = bench::parseBenchArgs(argc, argv, "[branches_per_run]");
     Fig4Options options;
-    if (argc > 1)
-        options.branchesPerRun = static_cast<size_t>(atol(argv[1]));
+    options.branchesPerRun = static_cast<size_t>(
+        args.positionalOr(0, static_cast<long>(options.branchesPerRun)));
+    if (args.seedSet)
+        options.seed = args.seed;
+    if (args.threadsSet)
+        options.threads = args.threads;
 
     std::cout << "Reproduction of Figure 4 (Sherwood & Calder, ISCA'01)\n"
               << "training " << options.fsmsPerBenchmark
@@ -30,5 +37,6 @@ main(int argc, char **argv)
 
     const Fig4Result result = runFigure4(options);
     printFig4(std::cout, result);
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

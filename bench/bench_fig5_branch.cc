@@ -16,6 +16,8 @@
 #include "sim/report.hh"
 #include "workloads/branch_workloads.hh"
 
+#include "bench_common.hh"
+
 using namespace autofsm;
 
 namespace
@@ -40,9 +42,12 @@ areaToBeat(const AreaMissSeries &series, double target)
 int
 main(int argc, char **argv)
 {
+    const auto args = bench::parseBenchArgs(argc, argv, "[branches_per_run]");
     Fig5Options options;
-    if (argc > 1)
-        options.branchesPerRun = static_cast<size_t>(atol(argv[1]));
+    options.branchesPerRun = static_cast<size_t>(
+        args.positionalOr(0, static_cast<long>(options.branchesPerRun)));
+    if (args.threadsSet)
+        options.training.threads = args.threads;
 
     std::cout << "Reproduction of Figure 5 (Sherwood & Calder, ISCA'01)\n"
               << "branches per run: " << options.branchesPerRun << "\n\n";
@@ -73,5 +78,6 @@ main(int argc, char **argv)
                   << " to match (-1 = never)\n\n";
         std::cout.flush();
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

@@ -19,8 +19,11 @@
 
 #include "bpred/trainer.hh"
 #include "flow/batch.hh"
+#include "support/stats.hh"
 #include "support/thread_pool.hh"
 #include "workloads/branch_workloads.hh"
+
+#include "bench_common.hh"
 
 using namespace autofsm;
 
@@ -40,12 +43,11 @@ millisSince(std::chrono::steady_clock::time_point start)
 int
 main(int argc, char **argv)
 {
-    size_t branches_per_run = 400000;
-    int max_branches = 12;
-    if (argc > 1)
-        branches_per_run = static_cast<size_t>(atol(argv[1]));
-    if (argc > 2)
-        max_branches = atoi(argv[2]);
+    const auto args = bench::parseBenchArgs(
+        argc, argv, "[branches_per_run] [max_branches_per_benchmark]");
+    const size_t branches_per_run =
+        static_cast<size_t>(args.positionalOr(0, 400000));
+    const int max_branches = static_cast<int>(args.positionalOr(1, 12));
 
     CustomTrainingOptions training;
     training.maxCustomBranches = max_branches;
@@ -141,5 +143,17 @@ main(int argc, char **argv)
                   << ms << " ms   metric sum " << stage_metric[name]
                   << "\n";
     }
+
+    // --- Per-item latency spread (stage times from the FlowTraces).
+    std::vector<double> item_ms;
+    item_ms.reserve(last_results.size());
+    for (const auto &result : last_results)
+        item_ms.push_back(result.flow.trace.totalMillis());
+    const Quantiles q = quantilesOf(item_ms);
+    std::cout << "\nper-item design time: p50 " << std::setprecision(2)
+              << q.p50 << " ms, p90 " << q.p90 << " ms, p99 " << q.p99
+              << " ms over " << item_ms.size() << " items\n";
+
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

@@ -19,13 +19,17 @@
 #include "synth/vhdl.hh"
 #include "workloads/branch_workloads.hh"
 
+#include "../bench/bench_common.hh"
+
 using namespace autofsm;
 
 int
 main(int argc, char **argv)
 {
-    const std::string benchmark = argc > 1 ? argv[1] : "gsm";
-    const int num_custom = argc > 2 ? atoi(argv[2]) : 4;
+    const auto args = bench::parseBenchArgs(
+        argc, argv, "[benchmark] [num_custom_entries]");
+    const std::string benchmark = args.positionalOr(0, "gsm");
+    const int num_custom = static_cast<int>(args.positionalOr(1, 4));
 
     std::cout << "Customizing a branch predictor for '" << benchmark
               << "'\n\n";
@@ -77,5 +81,6 @@ main(int argc, char **argv)
         std::cout << "\nVHDL for the top branch's machine:\n"
                   << toVhdl(trained.front().design.fsm, vhdl);
     }
+    bench::exportMetricsIfRequested(args);
     return 0;
 }

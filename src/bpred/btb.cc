@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.hh"
 #include "support/bits.hh"
 
 namespace autofsm
@@ -40,9 +41,11 @@ XScaleBtb::hit(uint64_t pc) const
 bool
 XScaleBtb::predict(uint64_t pc) const
 {
+    ++lookups_;
     const Entry &entry = entries_[indexOf(pc)];
     if (!entry.valid || entry.tag != tagOf(pc))
         return false; // BTB miss: predict not-taken
+    ++hits_;
     return entry.counter.predict();
 }
 
@@ -77,6 +80,23 @@ std::string
 XScaleBtb::name() const
 {
     return "xscale-btb" + std::to_string(config_.entries);
+}
+
+void
+publishBtbMetrics(const XScaleBtb &btb)
+{
+    obs::MetricsRegistry &registry = obs::globalMetrics();
+    if (!registry.enabled())
+        return;
+    const obs::Labels labels = {{"btb", btb.name()}};
+    registry
+        .counter("autofsm_btb_lookups_total",
+                 "BTB predict() lookups across simulation passes.", labels)
+        .inc(btb.lookups());
+    registry
+        .counter("autofsm_btb_hits_total",
+                 "BTB tag hits among those lookups.", labels)
+        .inc(btb.hits());
 }
 
 } // namespace autofsm

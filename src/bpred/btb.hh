@@ -43,6 +43,12 @@ class XScaleBtb : public BranchPredictor
     /** True iff @p pc currently hits in the BTB. */
     bool hit(uint64_t pc) const;
 
+    /** Lifetime predict() calls (telemetry: autofsm_btb_lookups_total). */
+    uint64_t lookups() const { return lookups_; }
+
+    /** Lifetime tag hits among those lookups. */
+    uint64_t hits() const { return hits_; }
+
     const BtbConfig &config() const { return config_; }
 
     /** Storage bits of one entry (tag + target + counter). */
@@ -62,7 +68,17 @@ class XScaleBtb : public BranchPredictor
     BtbConfig config_;
     AreaCosts costs_;
     std::vector<Entry> entries_;
+    /** Tallied locally in predict(); callers export them in bulk. */
+    mutable uint64_t lookups_ = 0;
+    mutable uint64_t hits_ = 0;
 };
+
+/**
+ * Export @p btb's lookup/hit tallies to the global metrics registry
+ * (autofsm_btb_lookups_total / autofsm_btb_hits_total, labelled with the
+ * BTB's name). Call once per finished simulation pass.
+ */
+void publishBtbMetrics(const XScaleBtb &btb);
 
 } // namespace autofsm
 

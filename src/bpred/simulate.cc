@@ -1,7 +1,36 @@
 #include "bpred/simulate.hh"
 
+#include "obs/metrics.hh"
+
 namespace autofsm
 {
+
+namespace
+{
+
+/**
+ * Publish one run's tallies. Counters are registered per predictor name
+ * (bounded label cardinality: one per swept configuration) and bumped
+ * once per run, so the per-branch hot loop stays untouched.
+ */
+void
+publishRun(const BranchPredictor &predictor, const BpredSimResult &result)
+{
+    obs::MetricsRegistry &registry = obs::globalMetrics();
+    if (!registry.enabled())
+        return;
+    const obs::Labels labels = {{"predictor", predictor.name()}};
+    registry
+        .counter("autofsm_bpred_branches_total",
+                 "Dynamic branches simulated.", labels)
+        .inc(result.branches);
+    registry
+        .counter("autofsm_bpred_mispredicts_total",
+                 "Mispredicted dynamic branches.", labels)
+        .inc(result.mispredicts);
+}
+
+} // anonymous namespace
 
 BpredSimResult
 simulateBranchPredictor(BranchPredictor &predictor, const BranchTrace &trace)
@@ -13,6 +42,7 @@ simulateBranchPredictor(BranchPredictor &predictor, const BranchTrace &trace)
             ++result.mispredicts;
         predictor.update(record.pc, record.taken);
     }
+    publishRun(predictor, result);
     return result;
 }
 
@@ -29,6 +59,7 @@ simulateBranchPredictor(BranchPredictor &predictor, const BranchTrace &trace,
         }
         predictor.update(record.pc, record.taken);
     }
+    publishRun(predictor, result);
     return result;
 }
 

@@ -1,7 +1,10 @@
 #include "flow/batch.hh"
 
+#include <chrono>
 #include <unordered_map>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "support/thread_pool.hh"
 
 namespace autofsm
@@ -18,6 +21,46 @@ mix64(uint64_t x)
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
+}
+
+/** Batch-level instrumentation, registered once. */
+struct BatchTelemetry
+{
+    obs::Counter items;
+    obs::Counter designed;
+    obs::Counter cacheHits;
+    obs::Counter failures;
+    obs::Histogram queueWait;
+    obs::Histogram itemMillis;
+};
+
+BatchTelemetry &
+batchTelemetry()
+{
+    static BatchTelemetry telemetry = [] {
+        obs::MetricsRegistry &registry = obs::globalMetrics();
+        BatchTelemetry t;
+        t.items = registry.counter("autofsm_batch_items_total",
+                                   "Items submitted to BatchDesigner.");
+        t.designed = registry.counter(
+            "autofsm_batch_designed_total",
+            "Flow executions actually run (memo-cache misses).");
+        t.cacheHits = registry.counter(
+            "autofsm_batch_cache_hits_total",
+            "Items served from the content-hash memo cache.");
+        t.failures = registry.counter("autofsm_batch_failures_total",
+                                      "Items whose design flow threw.");
+        t.queueWait = registry.histogram(
+            "autofsm_batch_queue_wait_millis",
+            "Delay between batch start and an item starting to design.",
+            obs::defaultLatencyBucketsMillis());
+        t.itemMillis = registry.histogram(
+            "autofsm_batch_item_millis",
+            "Wall-clock of one designed (non-cached) batch item.",
+            obs::defaultLatencyBucketsMillis());
+        return t;
+    }();
+    return telemetry;
 }
 
 } // anonymous namespace
@@ -93,11 +136,23 @@ BatchDesigner::designAll(const std::vector<MarkovModel> &models)
         }
     }
 
+    obs::SpanScope batch_span(&obs::globalTracer(), "batch.designAll");
+    const uint64_t batch_span_id = batch_span.id();
+    const auto batch_start = std::chrono::steady_clock::now();
+
     std::vector<BatchItemResult> results(models.size());
     parallelFor(
         unique.size(),
         [&](size_t u) {
             const size_t i = unique[u];
+            // Items fan out across pool threads, so the per-item span
+            // names its parent explicitly to stay under the batch root.
+            obs::SpanScope item_span(&obs::globalTracer(), "batch.item",
+                                     batch_span_id);
+            batchTelemetry().queueWait.observe(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - batch_start)
+                    .count());
             BatchItemResult &slot = results[i];
             try {
                 slot.flow = flow_.run(models[i]);
@@ -107,6 +162,7 @@ BatchDesigner::designAll(const std::vector<MarkovModel> &models)
             } catch (...) {
                 slot.error = "unknown exception in design flow";
             }
+            batchTelemetry().itemMillis.observe(item_span.finishMillis());
         },
         options_.threads);
 
@@ -124,6 +180,12 @@ BatchDesigner::designAll(const std::vector<MarkovModel> &models)
     stats_.designed = unique.size();
     for (const auto &result : results)
         stats_.failures += !result.ok;
+
+    BatchTelemetry &telemetry = batchTelemetry();
+    telemetry.items.inc(stats_.items);
+    telemetry.designed.inc(stats_.designed);
+    telemetry.cacheHits.inc(stats_.cacheHits);
+    telemetry.failures.inc(stats_.failures);
     return results;
 }
 

@@ -1,9 +1,10 @@
 #include "flow/design_flow.hh"
 
-#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "support/json.hh"
 
 namespace autofsm
@@ -12,13 +13,63 @@ namespace autofsm
 namespace
 {
 
-using Clock = std::chrono::steady_clock;
+constexpr FlowStage kAllStages[] = {
+    FlowStage::Markov,   FlowStage::Patterns, FlowStage::Minimize,
+    FlowStage::Regex,    FlowStage::Subset,   FlowStage::Hopcroft,
+    FlowStage::StartReduce,
+};
+constexpr size_t kStageCount = std::size(kAllStages);
 
-double
-millisSince(Clock::time_point start)
+/** Global per-stage instrumentation, registered once. */
+struct FlowTelemetry
 {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
+    obs::Counter runs;
+    obs::Histogram stageMillis[kStageCount];
+    obs::Counter stageMetric[kStageCount];
+};
+
+FlowTelemetry &
+flowTelemetry()
+{
+    static FlowTelemetry telemetry = [] {
+        obs::MetricsRegistry &registry = obs::globalMetrics();
+        FlowTelemetry t;
+        t.runs = registry.counter("autofsm_flow_runs_total",
+                                  "Design-flow pipeline executions.");
+        for (size_t i = 0; i < kStageCount; ++i) {
+            const obs::Labels labels = {
+                {"stage", flowStageName(kAllStages[i])}};
+            t.stageMillis[i] = registry.histogram(
+                "autofsm_flow_stage_millis",
+                "Wall-clock of one design-flow stage.",
+                obs::defaultLatencyBucketsMillis(), labels);
+            t.stageMetric[i] = registry.counter(
+                "autofsm_flow_stage_metric_total",
+                "Sum of the stage size metric (states/cubes/...) "
+                "across runs.",
+                labels);
+        }
+        return t;
+    }();
+    return telemetry;
+}
+
+/**
+ * Close @p span and publish the stage everywhere it is observed: the
+ * per-run FlowTrace (whose millis are exactly the span's duration) and
+ * the global per-stage histogram/counter pair.
+ */
+void
+recordStage(FlowTrace &trace, FlowStage stage, obs::SpanScope &span,
+            int64_t metric, const char *metric_name)
+{
+    const double millis = span.finishMillis();
+    trace.add(stage, millis, metric, metric_name);
+    const auto index = static_cast<size_t>(stage);
+    flowTelemetry().stageMillis[index].observe(millis);
+    if (metric > 0)
+        flowTelemetry().stageMetric[index].inc(
+            static_cast<uint64_t>(metric));
 }
 
 } // anonymous namespace
@@ -36,6 +87,16 @@ flowStageName(FlowStage stage)
       case FlowStage::StartReduce: return "start-reduce";
     }
     return "?";
+}
+
+std::optional<FlowStage>
+flowStageFromName(std::string_view name)
+{
+    for (const FlowStage stage : kAllStages) {
+        if (name == flowStageName(stage))
+            return stage;
+    }
+    return std::nullopt;
 }
 
 const StageRecord *
@@ -84,19 +145,21 @@ FlowTrace::toJson() const
 FlowResult
 DesignFlow::run(const MarkovModel &model) const
 {
+    obs::SpanScope root(&obs::globalTracer(), "flow.run");
     return runStages(model, FlowTrace());
 }
 
 FlowResult
 DesignFlow::runOnTrace(const std::vector<int> &trace) const
 {
-    const auto start = Clock::now();
+    obs::SpanScope root(&obs::globalTracer(), "flow.run");
+    obs::SpanScope span(&obs::globalTracer(), "flow.markov");
     MarkovModel model(options_.order);
     model.train(trace);
     FlowTrace flow_trace;
-    flow_trace.add(FlowStage::Markov, millisSince(start),
-                   static_cast<int64_t>(model.distinctHistories()),
-                   "histories");
+    recordStage(flow_trace, FlowStage::Markov, span,
+                static_cast<int64_t>(model.distinctHistories()),
+                "histories");
     return runStages(model, std::move(flow_trace));
 }
 
@@ -110,22 +173,30 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace) const
             std::to_string(options_.order));
     }
 
+    obs::Tracer *tracer = &obs::globalTracer();
+    flowTelemetry().runs.inc();
+
     FlowResult out;
     out.trace = std::move(trace);
     FsmDesignResult &result = out.design;
 
-    auto start = Clock::now();
-    result.patterns = definePatterns(model, options_.patterns);
-    out.trace.add(FlowStage::Patterns, millisSince(start),
-                  static_cast<int64_t>(result.patterns.predictOne.size() +
-                                       result.patterns.predictZero.size()),
-                  "specified");
+    {
+        obs::SpanScope span(tracer, "flow.patterns");
+        result.patterns = definePatterns(model, options_.patterns);
+        recordStage(out.trace, FlowStage::Patterns, span,
+                    static_cast<int64_t>(
+                        result.patterns.predictOne.size() +
+                        result.patterns.predictZero.size()),
+                    "specified");
+    }
 
-    start = Clock::now();
-    const TruthTable table = result.patterns.toTruthTable();
-    result.cover = minimize(table, options_.minimizer);
-    out.trace.add(FlowStage::Minimize, millisSince(start),
-                  static_cast<int64_t>(result.cover.size()), "cubes");
+    {
+        obs::SpanScope span(tracer, "flow.minimize");
+        const TruthTable table = result.patterns.toTruthTable();
+        result.cover = minimize(table, options_.minimizer);
+        recordStage(out.trace, FlowStage::Minimize, span,
+                    static_cast<int64_t>(result.cover.size()), "cubes");
+    }
 
     if (result.cover.empty()) {
         // Nothing to predict 1 on: the constant machine. (Hopcroft would
@@ -146,34 +217,43 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace) const
         return out;
     }
 
-    start = Clock::now();
-    const Regex regex = regexFromCover(result.cover);
-    result.regexText = regex.toString();
-    out.trace.add(FlowStage::Regex, millisSince(start),
-                  static_cast<int64_t>(result.cover.size()), "terms");
-
-    start = Clock::now();
-    const Nfa nfa = Nfa::fromRegex(regex);
-    const Dfa raw = Dfa::fromNfa(nfa);
-    result.statesSubset = raw.numStates();
-    out.trace.add(FlowStage::Subset, millisSince(start),
-                  result.statesSubset, "states");
-
-    start = Clock::now();
-    result.beforeReduction = raw.minimizeHopcroft();
-    result.statesHopcroft = result.beforeReduction.numStates();
-    out.trace.add(FlowStage::Hopcroft, millisSince(start),
-                  result.statesHopcroft, "states");
-
-    start = Clock::now();
-    if (options_.keepStartupStates) {
-        result.fsm = result.beforeReduction;
-    } else {
-        result.fsm = result.beforeReduction.steadyStateReduce();
+    std::optional<Regex> regex;
+    {
+        obs::SpanScope span(tracer, "flow.regex");
+        regex = regexFromCover(result.cover);
+        result.regexText = regex->toString();
+        recordStage(out.trace, FlowStage::Regex, span,
+                    static_cast<int64_t>(result.cover.size()), "terms");
     }
-    result.statesFinal = result.fsm.numStates();
-    out.trace.add(FlowStage::StartReduce, millisSince(start),
-                  result.statesFinal, "states");
+
+    {
+        obs::SpanScope span(tracer, "flow.subset");
+        const Nfa nfa = Nfa::fromRegex(*regex);
+        result.beforeReduction = Dfa::fromNfa(nfa);
+        result.statesSubset = result.beforeReduction.numStates();
+        recordStage(out.trace, FlowStage::Subset, span,
+                    result.statesSubset, "states");
+    }
+
+    {
+        obs::SpanScope span(tracer, "flow.hopcroft");
+        result.beforeReduction = result.beforeReduction.minimizeHopcroft();
+        result.statesHopcroft = result.beforeReduction.numStates();
+        recordStage(out.trace, FlowStage::Hopcroft, span,
+                    result.statesHopcroft, "states");
+    }
+
+    {
+        obs::SpanScope span(tracer, "flow.start-reduce");
+        if (options_.keepStartupStates) {
+            result.fsm = result.beforeReduction;
+        } else {
+            result.fsm = result.beforeReduction.steadyStateReduce();
+        }
+        result.statesFinal = result.fsm.numStates();
+        recordStage(out.trace, FlowStage::StartReduce, span,
+                    result.statesFinal, "states");
+    }
     return out;
 }
 

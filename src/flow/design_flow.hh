@@ -17,7 +17,9 @@
 #define AUTOFSM_FLOW_DESIGN_FLOW_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fsmgen/designer.hh"
@@ -41,6 +43,9 @@ enum class FlowStage
 /** Stable lower-case name of @p stage (used in reports and JSON). */
 const char *flowStageName(FlowStage stage);
 
+/** Inverse of flowStageName; nullopt for an unknown name. */
+std::optional<FlowStage> flowStageFromName(std::string_view name);
+
 /** One executed stage: how long it took and how big its product is. */
 struct StageRecord
 {
@@ -53,7 +58,16 @@ struct StageRecord
     const char *metricName = "";
 };
 
-/** The per-stage observations of one design-flow run. */
+/**
+ * The per-stage observations of one design-flow run.
+ *
+ * Since the telemetry subsystem landed this is a thin per-run view over
+ * the span tree: each record's wall-clock is the measured duration of
+ * the corresponding `obs::SpanScope` the flow opened for that stage
+ * (spans also stream into `obs::globalTracer()` when tracing is on).
+ * The trace itself stays a plain value so results remain comparable and
+ * serializable with telemetry compiled out.
+ */
 class FlowTrace
 {
   public:

@@ -1,0 +1,253 @@
+#include "obs/export.hh"
+
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/stats.hh"
+
+namespace autofsm::obs
+{
+
+namespace
+{
+
+/** Fixed "%.12g" rendering, matching JsonWriter's double format. */
+std::string
+formatDouble(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+/** Escape a Prometheus label value: backslash, quote, newline. */
+std::string
+promEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Render {k="v",...}; @p extra appends one more label (e.g. le). */
+std::string
+promLabels(const Labels &labels, const std::string &extra_key = {},
+           const std::string &extra_value = {})
+{
+    if (labels.empty() && extra_key.empty())
+        return {};
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += k + "=\"" + promEscape(v) + '"';
+    }
+    if (!extra_key.empty()) {
+        if (!first)
+            out += ',';
+        out += extra_key + "=\"" + promEscape(extra_value) + '"';
+    }
+    out += '}';
+    return out;
+}
+
+void
+renderOneJson(JsonWriter &json, const MetricValue &metric)
+{
+    json.beginObject();
+    json.key("name").value(metric.name);
+    json.key("kind").value(metricKindName(metric.kind));
+    if (!metric.help.empty())
+        json.key("help").value(metric.help);
+    if (!metric.labels.empty()) {
+        json.key("labels").beginObject();
+        for (const auto &[k, v] : metric.labels)
+            json.key(k).value(v);
+        json.endObject();
+    }
+    switch (metric.kind) {
+      case MetricKind::Counter:
+        json.key("value").value(metric.count);
+        break;
+      case MetricKind::Gauge:
+        json.key("value").value(metric.value);
+        break;
+      case MetricKind::Histogram: {
+        const HistogramValue &hist = metric.histogram;
+        json.key("count").value(hist.count);
+        json.key("sum").value(hist.sum);
+        json.key("p50").value(histogramQuantile(
+            hist.upperBounds, hist.bucketCounts, 50.0));
+        json.key("p90").value(histogramQuantile(
+            hist.upperBounds, hist.bucketCounts, 90.0));
+        json.key("p99").value(histogramQuantile(
+            hist.upperBounds, hist.bucketCounts, 99.0));
+        json.key("buckets").beginArray();
+        for (size_t b = 0; b < hist.bucketCounts.size(); ++b) {
+            json.beginObject();
+            json.key("le");
+            if (b < hist.upperBounds.size()) {
+                json.value(hist.upperBounds[b]);
+            } else {
+                // +Inf overflow bucket; JSON has no Inf literal.
+                json.value(
+                    std::numeric_limits<double>::infinity());
+            }
+            json.key("count").value(hist.bucketCounts[b]);
+            json.endObject();
+        }
+        json.endArray();
+        break;
+      }
+    }
+    json.endObject();
+}
+
+} // anonymous namespace
+
+void
+renderMetricsJson(std::ostream &out, const MetricsSnapshot &snapshot)
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("metrics").beginArray();
+    for (const MetricValue &metric : snapshot.metrics)
+        renderOneJson(json, metric);
+    json.endArray();
+    json.endObject();
+}
+
+std::string
+metricsToJson(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    renderMetricsJson(out, snapshot);
+    return out.str();
+}
+
+void
+renderPrometheusText(std::ostream &out, const MetricsSnapshot &snapshot)
+{
+    std::string current_family;
+    for (const MetricValue &metric : snapshot.metrics) {
+        if (metric.name != current_family) {
+            current_family = metric.name;
+            if (!metric.help.empty())
+                out << "# HELP " << metric.name << ' '
+                    << promEscape(metric.help) << '\n';
+            out << "# TYPE " << metric.name << ' '
+                << metricKindName(metric.kind) << '\n';
+        }
+        switch (metric.kind) {
+          case MetricKind::Counter:
+            out << metric.name << promLabels(metric.labels) << ' '
+                << metric.count << '\n';
+            break;
+          case MetricKind::Gauge:
+            out << metric.name << promLabels(metric.labels) << ' '
+                << formatDouble(metric.value) << '\n';
+            break;
+          case MetricKind::Histogram: {
+            const HistogramValue &hist = metric.histogram;
+            uint64_t cumulative = 0;
+            for (size_t b = 0; b < hist.bucketCounts.size(); ++b) {
+                cumulative += hist.bucketCounts[b];
+                const std::string le = b < hist.upperBounds.size()
+                    ? formatDouble(hist.upperBounds[b])
+                    : std::string("+Inf");
+                out << metric.name << "_bucket"
+                    << promLabels(metric.labels, "le", le) << ' '
+                    << cumulative << '\n';
+            }
+            out << metric.name << "_sum" << promLabels(metric.labels)
+                << ' ' << formatDouble(hist.sum) << '\n';
+            out << metric.name << "_count" << promLabels(metric.labels)
+                << ' ' << hist.count << '\n';
+            break;
+          }
+        }
+    }
+}
+
+std::string
+metricsToPrometheus(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    renderPrometheusText(out, snapshot);
+    return out.str();
+}
+
+namespace
+{
+
+void
+renderSpanNode(JsonWriter &json, const SpanRecord &span,
+               const std::multimap<uint64_t, const SpanRecord *> &children)
+{
+    json.beginObject();
+    json.key("id").value(span.id);
+    json.key("name").value(span.name);
+    json.key("startMillis").value(span.startMillis);
+    json.key("millis").value(span.durationMillis);
+    const auto [begin, end] = children.equal_range(span.id);
+    if (begin != end) {
+        json.key("children").beginArray();
+        for (auto it = begin; it != end; ++it)
+            renderSpanNode(json, *it->second, children);
+        json.endArray();
+    }
+    json.endObject();
+}
+
+} // anonymous namespace
+
+void
+renderSpansJson(std::ostream &out, const std::vector<SpanRecord> &spans)
+{
+    // Index children by parent; the snapshot is sorted by id, and
+    // multimap preserves insertion order per key, so siblings render in
+    // start order.
+    std::map<uint64_t, const SpanRecord *> by_id;
+    for (const SpanRecord &span : spans)
+        by_id.emplace(span.id, &span);
+    std::multimap<uint64_t, const SpanRecord *> children;
+    std::vector<const SpanRecord *> roots;
+    for (const SpanRecord &span : spans) {
+        if (span.parent != 0 && by_id.count(span.parent))
+            children.emplace(span.parent, &span);
+        else
+            roots.push_back(&span);
+    }
+
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("spans").beginArray();
+    for (const SpanRecord *root : roots)
+        renderSpanNode(json, *root, children);
+    json.endArray();
+    json.endObject();
+}
+
+std::string
+spansToJson(const std::vector<SpanRecord> &spans)
+{
+    std::ostringstream out;
+    renderSpansJson(out, spans);
+    return out.str();
+}
+
+} // namespace autofsm::obs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Exporters for the telemetry subsystem.
+ *
+ * Two wire formats over a `MetricsSnapshot`:
+ *
+ *  - **JSON** (`renderMetricsJson`) via the repo's deterministic
+ *    `JsonWriter`: machine-diffable, histograms carry estimated
+ *    p50/p90/p99 alongside the raw buckets.
+ *  - **Prometheus text exposition** (`renderPrometheusText`): one
+ *    `# HELP` / `# TYPE` header per metric family, histogram buckets in
+ *    cumulative `_bucket{le=...}` form with `_sum` / `_count`.
+ *
+ * Span trees export to JSON only (`renderSpansJson`, nested children);
+ * the Prometheus format has no span concept.
+ *
+ * All three are pure functions of their inputs: equal snapshots yield
+ * equal bytes, which is what the golden tests pin down.
+ */
+
+#ifndef AUTOFSM_OBS_EXPORT_HH
+#define AUTOFSM_OBS_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+namespace autofsm::obs
+{
+
+/** Render @p snapshot as a JSON document: {"metrics":[...]}. */
+void renderMetricsJson(std::ostream &out, const MetricsSnapshot &snapshot);
+std::string metricsToJson(const MetricsSnapshot &snapshot);
+
+/** Render @p snapshot in the Prometheus text exposition format. */
+void renderPrometheusText(std::ostream &out,
+                          const MetricsSnapshot &snapshot);
+std::string metricsToPrometheus(const MetricsSnapshot &snapshot);
+
+/**
+ * Render finished spans as a JSON forest: {"spans":[...]}, each node
+ * {"id","name","startMillis","millis","children":[...]}. Children nest
+ * under their parent; spans whose parent is absent render as roots.
+ * Siblings are ordered by id (start order).
+ */
+void renderSpansJson(std::ostream &out,
+                     const std::vector<SpanRecord> &spans);
+std::string spansToJson(const std::vector<SpanRecord> &spans);
+
+} // namespace autofsm::obs
+
+#endif // AUTOFSM_OBS_EXPORT_HH

@@ -1,0 +1,252 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autofsm::obs
+{
+
+namespace
+{
+
+/** Process-unique registry ids; never reused, so a stale thread-local
+ *  cache entry can never alias a newer registry at the same address. */
+std::atomic<uint64_t> next_registry_id{1};
+
+/** Canonical text form of (name, labels), used as the dedup key and as
+ *  the deterministic sort key of snapshots. */
+std::string
+metricKey(std::string_view name, const Labels &labels)
+{
+    std::string key(name);
+    for (const auto &[k, v] : labels) {
+        key += '\x1f'; // unit separator: cannot collide with label text
+        key += k;
+        key += '\x1f';
+        key += v;
+    }
+    return key;
+}
+
+} // anonymous namespace
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+MetricsRegistry::MetricsRegistry()
+    : id_(next_registry_id.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard *
+MetricsRegistry::shardForThread()
+{
+    // One-entry cache: almost every process uses exactly one registry
+    // (globalMetrics()), so the common case is two loads and a compare.
+    thread_local uint64_t cached_id = 0;
+    thread_local Shard *cached_shard = nullptr;
+    if (cached_id == id_)
+        return cached_shard;
+
+    // Slow path: find or create this thread's shard for this registry.
+    // The map holds shared_ptrs so a shard outlives whichever of
+    // {thread, registry} dies first.
+    thread_local std::unordered_map<uint64_t, std::shared_ptr<Shard>>
+        shards_of_thread;
+    std::shared_ptr<Shard> &entry = shards_of_thread[id_];
+    if (!entry) {
+        entry = std::make_shared<Shard>(kShardSlots);
+        std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(entry);
+    }
+    cached_id = id_;
+    cached_shard = entry.get();
+    return cached_shard;
+}
+
+const MetricsRegistry::MetricInfo &
+MetricsRegistry::registerMetric(std::string_view name, std::string_view help,
+                                Labels labels, MetricKind kind, size_t slots,
+                                std::vector<double> bounds)
+{
+    if (name.empty())
+        throw std::invalid_argument("metric name must not be empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string key = metricKey(name, labels);
+    const auto it = byKey_.find(key);
+    if (it != byKey_.end()) {
+        const MetricInfo &existing = metrics_[it->second];
+        if (existing.kind != kind) {
+            throw std::invalid_argument(
+                "metric '" + std::string(name) +
+                "' re-registered with a different kind");
+        }
+        if (kind == MetricKind::Histogram &&
+            *existing.bounds != bounds) {
+            throw std::invalid_argument(
+                "histogram '" + std::string(name) +
+                "' re-registered with different buckets");
+        }
+        return existing;
+    }
+
+    if (kind == MetricKind::Gauge) {
+        MetricInfo info;
+        info.name = std::string(name);
+        info.help = std::string(help);
+        info.labels = std::move(labels);
+        info.kind = kind;
+        info.slot = static_cast<uint32_t>(gauges_.size());
+        gauges_.push_back(std::make_unique<std::atomic<uint64_t>>(
+            std::bit_cast<uint64_t>(0.0)));
+        byKey_.emplace(key, metrics_.size());
+        metrics_.push_back(std::move(info));
+        return metrics_.back();
+    }
+
+    if (nextSlot_ + slots > kShardSlots) {
+        throw std::length_error(
+            "MetricsRegistry: shard slot capacity exhausted");
+    }
+    MetricInfo info;
+    info.name = std::string(name);
+    info.help = std::string(help);
+    info.labels = std::move(labels);
+    info.kind = kind;
+    info.slot = static_cast<uint32_t>(nextSlot_);
+    if (kind == MetricKind::Histogram) {
+        info.bounds = std::make_shared<const std::vector<double>>(
+            std::move(bounds));
+    }
+    nextSlot_ += slots;
+    byKey_.emplace(key, metrics_.size());
+    metrics_.push_back(std::move(info));
+    return metrics_.back();
+}
+
+Counter
+MetricsRegistry::counter(std::string_view name, std::string_view help,
+                         Labels labels)
+{
+    const MetricInfo &info = registerMetric(
+        name, help, std::move(labels), MetricKind::Counter, 1, {});
+    return Counter(this, info.slot);
+}
+
+Gauge
+MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                       Labels labels)
+{
+    const MetricInfo &info = registerMetric(
+        name, help, std::move(labels), MetricKind::Gauge, 0, {});
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Gauge(this, gauges_[info.slot].get());
+}
+
+Histogram
+MetricsRegistry::histogram(std::string_view name, std::string_view help,
+                           std::vector<double> upperBounds, Labels labels)
+{
+    if (!std::is_sorted(upperBounds.begin(), upperBounds.end())) {
+        throw std::invalid_argument(
+            "histogram '" + std::string(name) +
+            "' bucket bounds must be ascending");
+    }
+    // Layout: one slot per finite bucket, +Inf bucket, count, sum.
+    const size_t slots = upperBounds.size() + 3;
+    const MetricInfo &info =
+        registerMetric(name, help, std::move(labels),
+                       MetricKind::Histogram, slots, std::move(upperBounds));
+    return Histogram(this, info.slot, info.bounds);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Merge all shards once into a flat slot image.
+    std::vector<uint64_t> merged(nextSlot_, 0);
+    std::vector<double> merged_sums(nextSlot_, 0.0);
+    for (const auto &shard : shards_) {
+        for (size_t i = 0; i < nextSlot_; ++i) {
+            const uint64_t raw =
+                shard->slots[i].load(std::memory_order_relaxed);
+            merged[i] += raw;
+            merged_sums[i] += std::bit_cast<double>(raw);
+        }
+    }
+
+    MetricsSnapshot out;
+    out.metrics.reserve(metrics_.size());
+    for (const MetricInfo &info : metrics_) {
+        MetricValue value;
+        value.name = info.name;
+        value.help = info.help;
+        value.labels = info.labels;
+        value.kind = info.kind;
+        switch (info.kind) {
+          case MetricKind::Counter:
+            value.count = merged[info.slot];
+            value.value = static_cast<double>(merged[info.slot]);
+            break;
+          case MetricKind::Gauge:
+            value.value = std::bit_cast<double>(
+                gauges_[info.slot]->load(std::memory_order_relaxed));
+            break;
+          case MetricKind::Histogram: {
+            const std::vector<double> &bounds = *info.bounds;
+            value.histogram.upperBounds = bounds;
+            value.histogram.bucketCounts.resize(bounds.size() + 1);
+            for (size_t b = 0; b <= bounds.size(); ++b)
+                value.histogram.bucketCounts[b] = merged[info.slot + b];
+            value.histogram.count = merged[info.slot + bounds.size() + 1];
+            value.histogram.sum = merged_sums[info.slot + bounds.size() + 2];
+            value.count = value.histogram.count;
+            break;
+          }
+        }
+        out.metrics.push_back(std::move(value));
+    }
+
+    std::sort(out.metrics.begin(), out.metrics.end(),
+              [](const MetricValue &a, const MetricValue &b) {
+                  if (a.name != b.name)
+                      return a.name < b.name;
+                  return metricKey(a.name, a.labels) <
+                      metricKey(b.name, b.labels);
+              });
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        for (auto &slot : shard->slots)
+            slot.store(0, std::memory_order_relaxed);
+    }
+    for (const auto &gauge : gauges_)
+        gauge->store(std::bit_cast<uint64_t>(0.0),
+                     std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+globalMetrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace autofsm::obs

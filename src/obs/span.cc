@@ -1,0 +1,153 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace autofsm::obs
+{
+
+namespace
+{
+
+std::atomic<uint64_t> next_tracer_id{1};
+
+} // anonymous namespace
+
+Tracer::Tracer()
+    : id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadState &
+Tracer::stateForThread() const
+{
+    thread_local std::unordered_map<uint64_t,
+                                    std::unique_ptr<ThreadState>>
+        state_of_thread;
+    std::unique_ptr<ThreadState> &entry = state_of_thread[id_];
+    if (!entry) {
+        entry = std::make_unique<ThreadState>();
+        entry->buffer = std::make_shared<Buffer>();
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers_.push_back(entry->buffer);
+    }
+    return *entry;
+}
+
+double
+Tracer::millisSinceEpoch() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+uint64_t
+Tracer::currentSpan() const
+{
+    const ThreadState &state = stateForThread();
+    return state.stack.empty() ? 0 : state.stack.back();
+}
+
+std::vector<SpanRecord>
+Tracer::snapshot() const
+{
+    std::vector<SpanRecord> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        out.insert(out.end(), buffer->records.begin(),
+                   buffer->records.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        buffer->records.clear();
+    }
+}
+
+SpanScope::SpanScope(Tracer *tracer, std::string_view name)
+{
+    start(tracer, name, 0, true);
+}
+
+SpanScope::SpanScope(Tracer *tracer, std::string_view name, uint64_t parent)
+{
+    start(tracer, name, parent, false);
+}
+
+void
+SpanScope::start(Tracer *tracer, std::string_view name, uint64_t parent,
+                 bool parent_from_stack)
+{
+    start_ = std::chrono::steady_clock::now();
+#ifdef AUTOFSM_NO_TELEMETRY
+    (void)tracer;
+    (void)name;
+    (void)parent;
+    (void)parent_from_stack;
+#else
+    if (tracer == nullptr || !tracer->enabled())
+        return;
+    tracer_ = tracer;
+    name_ = std::string(name);
+    recording_ = true;
+    Tracer::ThreadState &state = tracer->stateForThread();
+    parent_ = parent_from_stack
+        ? (state.stack.empty() ? 0 : state.stack.back())
+        : parent;
+    id_ = tracer->nextSpanId_.fetch_add(1, std::memory_order_relaxed);
+    startMillis_ = tracer->millisSinceEpoch();
+    state.stack.push_back(id_);
+#endif
+}
+
+SpanScope::~SpanScope() { finishMillis(); }
+
+double
+SpanScope::finishMillis()
+{
+    if (finished_)
+        return duration_;
+    finished_ = true;
+    duration_ = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    if (recording_) {
+        Tracer::ThreadState &state = tracer_->stateForThread();
+        // Pop this span; tolerate out-of-order destruction defensively.
+        if (!state.stack.empty() && state.stack.back() == id_)
+            state.stack.pop_back();
+        SpanRecord record;
+        record.id = id_;
+        record.parent = parent_;
+        record.name = name_;
+        record.startMillis = startMillis_;
+        record.durationMillis = duration_;
+        std::lock_guard<std::mutex> lock(state.buffer->mutex);
+        state.buffer->records.push_back(std::move(record));
+    }
+    return duration_;
+}
+
+Tracer &
+globalTracer()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+} // namespace autofsm::obs

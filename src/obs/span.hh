@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Hierarchical scoped spans.
+ *
+ * A `Tracer` hands out stable, monotonically increasing span ids and
+ * collects finished spans into per-thread buffers that `snapshot()`
+ * merges and sorts. `SpanScope` is the RAII front end: it always *times*
+ * its region (callers like `DesignFlow` build their `FlowTrace` from the
+ * measured durations, so timing must survive a disabled tracer), but it
+ * only *records* a span when the tracer was enabled at construction.
+ *
+ * Parentage defaults to the innermost open span on the current thread;
+ * work fanned out across a pool passes the parent id explicitly so the
+ * span tree stays connected across threads.
+ *
+ * With `-DAUTOFSM_NO_TELEMETRY` the tracer machinery compiles out and a
+ * SpanScope degrades to a plain steady_clock stopwatch.
+ */
+
+#ifndef AUTOFSM_OBS_SPAN_HH
+#define AUTOFSM_OBS_SPAN_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autofsm::obs
+{
+
+/** One finished span. Ids are 1-based in start order; parent 0 = root. */
+struct SpanRecord
+{
+    uint64_t id = 0;
+    uint64_t parent = 0;
+    std::string name;
+    /** Start offset from the tracer's epoch, milliseconds. */
+    double startMillis = 0.0;
+    double durationMillis = 0.0;
+};
+
+class SpanScope;
+
+/** Collects spans; one global instance (globalTracer()), tests may own
+ *  private ones. Disabled by default so long runs don't grow buffers. */
+class Tracer
+{
+  public:
+    Tracer();
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+    bool
+    enabled() const
+    {
+#ifdef AUTOFSM_NO_TELEMETRY
+        return false;
+#else
+        return enabled_.load(std::memory_order_relaxed);
+#endif
+    }
+
+    /** Innermost open span on the calling thread (0 when none). */
+    uint64_t currentSpan() const;
+
+    /** Every finished span so far, merged across threads, sorted by id. */
+    std::vector<SpanRecord> snapshot() const;
+
+    /** Drop all recorded spans (open SpanScopes still record on finish). */
+    void clear();
+
+  private:
+    friend class SpanScope;
+
+    struct Buffer
+    {
+        std::mutex mutex;
+        std::vector<SpanRecord> records;
+    };
+
+    struct ThreadState
+    {
+        std::vector<uint64_t> stack;
+        std::shared_ptr<Buffer> buffer;
+    };
+
+    /** This thread's stack+buffer for this tracer (created on demand). */
+    ThreadState &stateForThread() const;
+
+    double millisSinceEpoch() const;
+
+    std::atomic<bool> enabled_{false};
+    const uint64_t id_;
+    std::atomic<uint64_t> nextSpanId_{1};
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    mutable std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/** RAII timed region; records into @p tracer if enabled (may be null). */
+class SpanScope
+{
+  public:
+    /** Child of the innermost open span on this thread. */
+    SpanScope(Tracer *tracer, std::string_view name);
+
+    /** Child of an explicit @p parent id (cross-thread fan-out). */
+    SpanScope(Tracer *tracer, std::string_view name, uint64_t parent);
+
+    ~SpanScope();
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /**
+     * Stop the clock, record the span (if tracing), and return the
+     * elapsed milliseconds. Idempotent; the destructor calls it too.
+     */
+    double finishMillis();
+
+    /** This span's id (0 when the tracer was disabled or null). */
+    uint64_t id() const { return id_; }
+
+  private:
+    void start(Tracer *tracer, std::string_view name, uint64_t parent,
+               bool parent_from_stack);
+
+    Tracer *tracer_ = nullptr;
+    std::string name_;
+    uint64_t id_ = 0;
+    uint64_t parent_ = 0;
+    std::chrono::steady_clock::time_point start_;
+    double startMillis_ = 0.0;
+    bool recording_ = false;
+    bool finished_ = false;
+    double duration_ = 0.0;
+};
+
+/** The process-wide tracer (disabled until a bench/test enables it). */
+Tracer &globalTracer();
+
+} // namespace autofsm::obs
+
+#endif // AUTOFSM_OBS_SPAN_HH

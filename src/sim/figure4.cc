@@ -1,6 +1,7 @@
 #include "sim/figure4.hh"
 
 #include "bpred/trainer.hh"
+#include "obs/metrics.hh"
 #include "support/rng.hh"
 #include "support/thread_pool.hh"
 #include "workloads/branch_workloads.hh"
@@ -44,6 +45,22 @@ runFigure4(const Fig4Options &options)
         result.samples.insert(result.samples.end(), per_benchmark.begin(),
                               per_benchmark.end());
     result.fit = fitAreaLine(result.samples);
+
+    obs::MetricsRegistry &registry = obs::globalMetrics();
+    if (registry.enabled()) {
+        registry
+            .counter("autofsm_fig4_samples_total",
+                     "FSM area samples feeding the Figure-4 fit.")
+            .inc(result.samples.size());
+        registry
+            .gauge("autofsm_fig4_fit_slope",
+                   "Fitted area-per-state slope from the last Figure-4 run.")
+            .set(result.fit.slope);
+        registry
+            .gauge("autofsm_fig4_fit_intercept",
+                   "Fitted area intercept from the last Figure-4 run.")
+            .set(result.fit.intercept);
+    }
     return result;
 }
 

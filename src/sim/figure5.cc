@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "bpred/btb.hh"
 #include "bpred/custom.hh"
 #include "bpred/gshare.hh"
 #include "bpred/local_global.hh"
@@ -59,6 +60,7 @@ customCurve(const std::vector<TrainedBranch> &trained,
         for (auto &machine : machines)
             machine.update(record.taken ? 1 : 0);
     }
+    publishBtbMetrics(btb);
 
     const double total =
         static_cast<double>(trace.size() ? trace.size() : 1);
@@ -100,6 +102,7 @@ runFigure5(const std::string &benchmark, const Fig5Options &options)
     {
         XScaleBtb btb(options.training.baseline, costs);
         const BpredSimResult r = simulateBranchPredictor(btb, test);
+        publishBtbMetrics(btb);
         result.xscale = {btb.area(), r.missRate(), btb.name()};
     }
 

@@ -75,4 +75,66 @@ fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
     return fit;
 }
 
+double
+percentileOfSorted(const std::vector<double> &sorted, double pct)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double clamped = std::max(0.0, std::min(100.0, pct));
+    const double rank =
+        clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Quantiles
+quantilesOf(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    Quantiles q;
+    q.p50 = percentileOfSorted(samples, 50.0);
+    q.p90 = percentileOfSorted(samples, 90.0);
+    q.p99 = percentileOfSorted(samples, 99.0);
+    return q;
+}
+
+double
+histogramQuantile(const std::vector<double> &upperBounds,
+                  const std::vector<uint64_t> &bucketCounts, double pct)
+{
+    assert(bucketCounts.size() == upperBounds.size() + 1);
+    uint64_t total = 0;
+    for (const uint64_t count : bucketCounts)
+        total += count;
+    if (total == 0)
+        return 0.0;
+
+    const double clamped = std::max(0.0, std::min(100.0, pct));
+    const double rank = clamped / 100.0 * static_cast<double>(total);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < bucketCounts.size(); ++b) {
+        const uint64_t in_bucket = bucketCounts[b];
+        if (rank > static_cast<double>(cumulative + in_bucket)) {
+            cumulative += in_bucket;
+            continue;
+        }
+        if (b >= upperBounds.size()) {
+            // Overflow bucket has no upper edge; report the last finite
+            // bound (or 0 for a bounds-less histogram).
+            return upperBounds.empty() ? 0.0 : upperBounds.back();
+        }
+        const double lower = b == 0 ? 0.0 : upperBounds[b - 1];
+        const double upper = upperBounds[b];
+        if (in_bucket == 0)
+            return upper;
+        const double within =
+            (rank - static_cast<double>(cumulative)) /
+            static_cast<double>(in_bucket);
+        return lower + (upper - lower) * std::min(1.0, within);
+    }
+    return upperBounds.empty() ? 0.0 : upperBounds.back();
+}
+
 } // namespace autofsm

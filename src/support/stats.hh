@@ -79,6 +79,44 @@ safeRatio(double num, double den)
     return den == 0.0 ? 0.0 : num / den;
 }
 
+/**
+ * Percentile of an ascending-sorted sample set, linearly interpolated
+ * between adjacent order statistics (the "exclusive of neither end"
+ * definition: p=0 is the minimum, p=100 the maximum).
+ *
+ * @param sorted Samples in ascending order.
+ * @param pct Percentile in [0, 100] (clamped).
+ * @return The interpolated percentile; 0 when @p sorted is empty.
+ */
+double percentileOfSorted(const std::vector<double> &sorted, double pct);
+
+/** The three percentiles the reports quote. */
+struct Quantiles
+{
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/** p50/p90/p99 of @p samples (sorts a copy; empty input yields zeros). */
+Quantiles quantilesOf(std::vector<double> samples);
+
+/**
+ * Percentile estimate from fixed-bucket histogram counts, interpolating
+ * linearly within the containing bucket (Prometheus histogram_quantile
+ * semantics, with the first bucket anchored at 0).
+ *
+ * @param upperBounds Finite bucket upper bounds, ascending.
+ * @param bucketCounts Per-bucket (non-cumulative) counts; one entry per
+ *        bound plus a final +Inf overflow bucket.
+ * @param pct Percentile in [0, 100] (clamped).
+ * @return The estimate; 0 when every bucket is empty. A percentile that
+ *         lands in the overflow bucket reports the largest finite bound.
+ */
+double histogramQuantile(const std::vector<double> &upperBounds,
+                         const std::vector<uint64_t> &bucketCounts,
+                         double pct);
+
 } // namespace autofsm
 
 #endif // AUTOFSM_SUPPORT_STATS_HH

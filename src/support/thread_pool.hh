@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -23,6 +24,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hh"
 
 namespace autofsm
 {
@@ -43,6 +46,7 @@ class ThreadPool
     explicit ThreadPool(unsigned threads = 0)
     {
         const unsigned count = threads ? threads : defaultThreadCount();
+        poolMetrics().threads.set(static_cast<double>(count));
         workers_.reserve(count);
         for (unsigned i = 0; i < count; ++i)
             workers_.emplace_back([this] { workerLoop(); });
@@ -71,19 +75,69 @@ class ThreadPool
     void
     submit(std::function<void()> job)
     {
+        Job entry;
+        entry.fn = std::move(job);
+#ifndef AUTOFSM_NO_TELEMETRY
+        if (obs::globalMetrics().enabled())
+            entry.enqueued = std::chrono::steady_clock::now();
+#endif
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            queue_.push_back(std::move(job));
+            queue_.push_back(std::move(entry));
         }
         wake_.notify_one();
     }
 
   private:
+    struct Job
+    {
+        std::function<void()> fn;
+        /** Submit time; drives the queue-wait histogram. */
+        std::chrono::steady_clock::time_point enqueued{};
+    };
+
+    /**
+     * Pool-wide telemetry. Task wait/run are histograms, so utilization
+     * over a window is run-sum / (threads gauge x wall-clock).
+     */
+    struct PoolMetrics
+    {
+        obs::Gauge threads;
+        obs::Counter tasks;
+        obs::Histogram wait;
+        obs::Histogram run;
+    };
+
+    static PoolMetrics &
+    poolMetrics()
+    {
+        static PoolMetrics metrics = [] {
+            obs::MetricsRegistry &registry = obs::globalMetrics();
+            PoolMetrics m;
+            m.threads = registry.gauge(
+                "autofsm_pool_threads",
+                "Worker count of the most recently constructed pool.");
+            m.tasks = registry.counter(
+                "autofsm_pool_tasks_total",
+                "Jobs executed by thread-pool workers.");
+            m.wait = registry.histogram(
+                "autofsm_pool_task_wait_millis",
+                "Queue wait between submit and dequeue.",
+                obs::defaultLatencyBucketsMillis());
+            m.run = registry.histogram(
+                "autofsm_pool_task_run_millis",
+                "Job execution time on a worker.",
+                obs::defaultLatencyBucketsMillis());
+            return m;
+        }();
+        return metrics;
+    }
+
     void
     workerLoop()
     {
         for (;;) {
-            std::function<void()> job;
+            Job job;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
                 wake_.wait(lock,
@@ -93,13 +147,32 @@ class ThreadPool
                 job = std::move(queue_.front());
                 queue_.pop_front();
             }
-            job();
+#ifndef AUTOFSM_NO_TELEMETRY
+            // Only jobs stamped at submit (registry enabled then) report;
+            // a zero stamp means telemetry was off when they were queued.
+            if (obs::globalMetrics().enabled() &&
+                job.enqueued.time_since_epoch().count() != 0) {
+                const auto start = std::chrono::steady_clock::now();
+                poolMetrics().wait.observe(
+                    std::chrono::duration<double, std::milli>(
+                        start - job.enqueued)
+                        .count());
+                job.fn();
+                poolMetrics().run.observe(
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+                poolMetrics().tasks.inc();
+                continue;
+            }
+#endif
+            job.fn();
         }
     }
 
     std::mutex mutex_;
     std::condition_variable wake_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Job> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
 };

@@ -3,10 +3,48 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hh"
 #include "support/bits.hh"
 
 namespace autofsm
 {
+
+namespace
+{
+
+/**
+ * Publish one confidence run's coverage tallies, labelled by estimator
+ * (bounded cardinality: one per swept configuration). Bumped once per
+ * run so the per-load hot loop stays untouched.
+ */
+void
+publishConfidenceRun(const ConfidenceEstimator &estimator,
+                     const ConfidenceResult &result)
+{
+    obs::MetricsRegistry &registry = obs::globalMetrics();
+    if (!registry.enabled())
+        return;
+    const obs::Labels labels = {{"estimator", estimator.name()}};
+    registry
+        .counter("autofsm_vpred_loads_total",
+                 "Dynamic loads simulated by the confidence harness.",
+                 labels)
+        .inc(result.loads);
+    registry
+        .counter("autofsm_vpred_correct_total",
+                 "Loads whose value prediction was correct.", labels)
+        .inc(result.correct);
+    registry
+        .counter("autofsm_vpred_confident_total",
+                 "Loads the estimator marked confident.", labels)
+        .inc(result.confident);
+    registry
+        .counter("autofsm_vpred_confident_correct_total",
+                 "Confident loads that were also correct.", labels)
+        .inc(result.confidentCorrect);
+}
+
+} // anonymous namespace
 
 ConfidenceResult
 simulateConfidence(const ValueTrace &trace, ValuePredictor &predictor,
@@ -26,6 +64,7 @@ simulateConfidence(const ValueTrace &trace, ValuePredictor &predictor,
 
         estimator.update(entry, outcome.correct);
     }
+    publishConfidenceRun(estimator, result);
     return result;
 }
 

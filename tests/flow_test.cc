@@ -288,5 +288,33 @@ TEST(BatchDesignerTest, PoisonedItemDoesNotSinkBatch)
         results[2].flow.design.fsm.identical(results[0].flow.design.fsm));
 }
 
+
+TEST(FlowTraceTest, FindReturnsNullForAbsentStage)
+{
+    FlowTrace trace;
+    trace.add(FlowStage::Markov, 1.0, 3, "histories");
+    ASSERT_NE(trace.find(FlowStage::Markov), nullptr);
+    EXPECT_EQ(trace.find(FlowStage::Markov)->metric, 3);
+    EXPECT_EQ(trace.find(FlowStage::Hopcroft), nullptr);
+}
+
+TEST(FlowTraceTest, StageNamesRoundTrip)
+{
+    const FlowStage all[] = {
+        FlowStage::Markov,   FlowStage::Patterns, FlowStage::Minimize,
+        FlowStage::Regex,    FlowStage::Subset,   FlowStage::Hopcroft,
+        FlowStage::StartReduce,
+    };
+    for (const FlowStage stage : all) {
+        const char *name = flowStageName(stage);
+        EXPECT_STRNE(name, "?");
+        const auto parsed = flowStageFromName(name);
+        ASSERT_TRUE(parsed.has_value()) << name;
+        EXPECT_EQ(*parsed, stage) << name;
+    }
+    EXPECT_FALSE(flowStageFromName("no-such-stage").has_value());
+    EXPECT_FALSE(flowStageFromName("").has_value());
+}
+
 } // anonymous namespace
 } // namespace autofsm

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Telemetry subsystem tests: registry semantics (including the
+ * 8-thread concurrent-snapshot consistency check from the PR's
+ * acceptance criteria), golden bytes for both exporters, and the span
+ * tracer's hierarchy rules.
+ *
+ * Registry/tracer *behavior* tests skip under -DAUTOFSM_NO_TELEMETRY
+ * (writes compile to no-ops there, by design). The exporter goldens
+ * build their MetricsSnapshot/SpanRecord inputs by hand, so they pin
+ * the byte format in every build mode.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+using namespace autofsm;
+using namespace autofsm::obs;
+
+#ifdef AUTOFSM_NO_TELEMETRY
+#define SKIP_IF_NO_TELEMETRY() \
+    GTEST_SKIP() << "built with AUTOFSM_NO_TELEMETRY"
+#else
+#define SKIP_IF_NO_TELEMETRY() (void)0
+#endif
+
+namespace
+{
+
+const MetricValue *
+findMetric(const MetricsSnapshot &snapshot, const std::string &name)
+{
+    for (const MetricValue &metric : snapshot.metrics) {
+        if (metric.name == name)
+            return &metric;
+    }
+    return nullptr;
+}
+
+} // anonymous namespace
+
+TEST(MetricsRegistryTest, CounterAccumulatesAcrossHandles)
+{
+    SKIP_IF_NO_TELEMETRY();
+    MetricsRegistry registry;
+    Counter a = registry.counter("ops_total", "Operations.");
+    Counter b = registry.counter("ops_total"); // same metric, new handle
+    a.inc();
+    a.inc(4);
+    b.inc(2);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    const MetricValue *metric = findMetric(snapshot, "ops_total");
+    ASSERT_NE(metric, nullptr);
+    EXPECT_EQ(metric->kind, MetricKind::Counter);
+    EXPECT_EQ(metric->count, 7u);
+    EXPECT_EQ(metric->help, "Operations.");
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishInstances)
+{
+    SKIP_IF_NO_TELEMETRY();
+    MetricsRegistry registry;
+    registry.counter("x_total", "", {{"k", "a"}}).inc(1);
+    registry.counter("x_total", "", {{"k", "b"}}).inc(2);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.metrics.size(), 2u);
+    // Sorted by (name, labels): k=a before k=b.
+    EXPECT_EQ(snapshot.metrics[0].count, 1u);
+    EXPECT_EQ(snapshot.metrics[1].count, 2u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows)
+{
+    MetricsRegistry registry;
+    registry.counter("thing");
+    EXPECT_THROW(registry.gauge("thing"), std::invalid_argument);
+    registry.histogram("hist", "", {1.0, 2.0});
+    EXPECT_THROW(registry.counter("hist"), std::invalid_argument);
+    // Same name, different bounds: also a conflict.
+    EXPECT_THROW(registry.histogram("hist", "", {1.0, 3.0}),
+                 std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd)
+{
+    SKIP_IF_NO_TELEMETRY();
+    MetricsRegistry registry;
+    Gauge gauge = registry.gauge("level");
+    gauge.set(2.0);
+    gauge.add(0.5);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    const MetricValue *metric = findMetric(snapshot, "level");
+    ASSERT_NE(metric, nullptr);
+    EXPECT_DOUBLE_EQ(metric->value, 2.5);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsCountAndSum)
+{
+    SKIP_IF_NO_TELEMETRY();
+    MetricsRegistry registry;
+    Histogram hist = registry.histogram("lat", "", {1.0, 10.0});
+    hist.observe(0.5);  // bucket le=1
+    hist.observe(1.0);  // boundary lands in le=1 (value > bound fails)
+    hist.observe(5.0);  // bucket le=10
+    hist.observe(99.0); // +Inf overflow
+    const MetricsSnapshot snapshot = registry.snapshot();
+    const MetricValue *metric = findMetric(snapshot, "lat");
+    ASSERT_NE(metric, nullptr);
+    const HistogramValue &value = metric->histogram;
+    ASSERT_EQ(value.bucketCounts.size(), 3u);
+    EXPECT_EQ(value.bucketCounts[0], 2u);
+    EXPECT_EQ(value.bucketCounts[1], 1u);
+    EXPECT_EQ(value.bucketCounts[2], 1u);
+    EXPECT_EQ(value.count, 4u);
+    EXPECT_DOUBLE_EQ(value.sum, 105.5);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryDropsWrites)
+{
+    SKIP_IF_NO_TELEMETRY();
+    MetricsRegistry registry;
+    Counter counter = registry.counter("ops_total");
+    registry.enable(false);
+    counter.inc(100);
+    const MetricsSnapshot off = registry.snapshot();
+    EXPECT_EQ(findMetric(off, "ops_total")->count, 0u);
+    registry.enable(true);
+    counter.inc(3);
+    const MetricsSnapshot on = registry.snapshot();
+    EXPECT_EQ(findMetric(on, "ops_total")->count, 3u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesKeepsRegistrations)
+{
+    SKIP_IF_NO_TELEMETRY();
+    MetricsRegistry registry;
+    Counter counter = registry.counter("ops_total");
+    Gauge gauge = registry.gauge("level");
+    Histogram hist = registry.histogram("lat", "", {1.0});
+    counter.inc(5);
+    gauge.set(7.0);
+    hist.observe(0.5);
+    registry.reset();
+    const MetricsSnapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.metrics.size(), 3u);
+    EXPECT_EQ(findMetric(snapshot, "ops_total")->count, 0u);
+    EXPECT_DOUBLE_EQ(findMetric(snapshot, "level")->value, 0.0);
+    EXPECT_EQ(findMetric(snapshot, "lat")->histogram.count, 0u);
+    counter.inc(2); // handles stay live after reset
+    const MetricsSnapshot after = registry.snapshot();
+    EXPECT_EQ(findMetric(after, "ops_total")->count, 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameThenLabels)
+{
+    MetricsRegistry registry;
+    registry.counter("zz_total");
+    registry.gauge("aa");
+    registry.counter("mm_total", "", {{"b", "2"}});
+    registry.counter("mm_total", "", {{"b", "1"}});
+    const MetricsSnapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.metrics.size(), 4u);
+    EXPECT_EQ(snapshot.metrics[0].name, "aa");
+    EXPECT_EQ(snapshot.metrics[1].name, "mm_total");
+    EXPECT_EQ(snapshot.metrics[1].labels[0].second, "1");
+    EXPECT_EQ(snapshot.metrics[2].labels[0].second, "2");
+    EXPECT_EQ(snapshot.metrics[3].name, "zz_total");
+}
+
+/**
+ * The acceptance-criteria test: snapshots taken while 8 writer threads
+ * hammer the registry are internally consistent (counter totals only
+ * grow and never exceed what was written), and the final merged total
+ * equals the serial ground truth exactly.
+ */
+TEST(MetricsRegistryTest, ConcurrentSnapshotConsistency)
+{
+    SKIP_IF_NO_TELEMETRY();
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 100000;
+
+    MetricsRegistry registry;
+    Counter counter = registry.counter("ops_total");
+    Histogram hist =
+        registry.histogram("lat_millis", "", {1.0, 10.0, 100.0});
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                counter.inc();
+                if ((i & 1023u) == 0)
+                    hist.observe(static_cast<double>(t) + 0.5);
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+
+    uint64_t previous = 0;
+    for (int s = 0; s < 50; ++s) {
+        const MetricsSnapshot snapshot = registry.snapshot();
+        const MetricValue *metric = findMetric(snapshot, "ops_total");
+        ASSERT_NE(metric, nullptr);
+        EXPECT_GE(metric->count, previous);
+        EXPECT_LE(metric->count, kThreads * kPerThread);
+        previous = metric->count;
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    const MetricsSnapshot final_snapshot = registry.snapshot();
+    EXPECT_EQ(findMetric(final_snapshot, "ops_total")->count,
+              kThreads * kPerThread);
+    // Each thread observes at i = 0, 1024, ..., i.e. ceil(N/1024) times.
+    const uint64_t observes_per_thread = (kPerThread + 1023) / 1024;
+    const HistogramValue &value =
+        findMetric(final_snapshot, "lat_millis")->histogram;
+    EXPECT_EQ(value.count, kThreads * observes_per_thread);
+    uint64_t bucket_total = 0;
+    for (const uint64_t count : value.bucketCounts)
+        bucket_total += count;
+    EXPECT_EQ(bucket_total, value.count);
+}
+
+// --- exporter goldens (hand-built snapshots; run in every build mode) --
+
+namespace
+{
+
+MetricsSnapshot
+goldenSnapshot()
+{
+    MetricsSnapshot snapshot;
+
+    MetricValue counter;
+    counter.name = "autofsm_demo_total";
+    counter.help = "Demo counter.";
+    counter.labels = {{"stage", "markov"}};
+    counter.kind = MetricKind::Counter;
+    counter.count = 3;
+    snapshot.metrics.push_back(counter);
+
+    MetricValue gauge;
+    gauge.name = "autofsm_gauge";
+    gauge.help = "A gauge.";
+    gauge.kind = MetricKind::Gauge;
+    gauge.value = 2.5;
+    snapshot.metrics.push_back(gauge);
+
+    MetricValue hist;
+    hist.name = "autofsm_lat_millis";
+    hist.help = "Latency.";
+    hist.kind = MetricKind::Histogram;
+    hist.histogram.upperBounds = {1.0, 2.0};
+    hist.histogram.bucketCounts = {1, 2, 1};
+    hist.histogram.count = 4;
+    hist.histogram.sum = 5.5;
+    snapshot.metrics.push_back(hist);
+
+    return snapshot;
+}
+
+} // anonymous namespace
+
+TEST(MetricsExportTest, PrometheusGolden)
+{
+    EXPECT_EQ(metricsToPrometheus(goldenSnapshot()),
+              "# HELP autofsm_demo_total Demo counter.\n"
+              "# TYPE autofsm_demo_total counter\n"
+              "autofsm_demo_total{stage=\"markov\"} 3\n"
+              "# HELP autofsm_gauge A gauge.\n"
+              "# TYPE autofsm_gauge gauge\n"
+              "autofsm_gauge 2.5\n"
+              "# HELP autofsm_lat_millis Latency.\n"
+              "# TYPE autofsm_lat_millis histogram\n"
+              "autofsm_lat_millis_bucket{le=\"1\"} 1\n"
+              "autofsm_lat_millis_bucket{le=\"2\"} 3\n"
+              "autofsm_lat_millis_bucket{le=\"+Inf\"} 4\n"
+              "autofsm_lat_millis_sum 5.5\n"
+              "autofsm_lat_millis_count 4\n");
+}
+
+TEST(MetricsExportTest, PrometheusEscapesLabelValues)
+{
+    MetricsSnapshot snapshot;
+    MetricValue counter;
+    counter.name = "esc_total";
+    counter.kind = MetricKind::Counter;
+    counter.labels = {{"k", "a\"b\\c\nd"}};
+    counter.count = 1;
+    snapshot.metrics.push_back(counter);
+    EXPECT_EQ(metricsToPrometheus(snapshot),
+              "# TYPE esc_total counter\n"
+              "esc_total{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(MetricsExportTest, JsonGolden)
+{
+    EXPECT_EQ(
+        metricsToJson(goldenSnapshot()),
+        "{\"metrics\":["
+        "{\"name\":\"autofsm_demo_total\",\"kind\":\"counter\","
+        "\"help\":\"Demo counter.\",\"labels\":{\"stage\":\"markov\"},"
+        "\"value\":3},"
+        "{\"name\":\"autofsm_gauge\",\"kind\":\"gauge\","
+        "\"help\":\"A gauge.\",\"value\":2.5},"
+        "{\"name\":\"autofsm_lat_millis\",\"kind\":\"histogram\","
+        "\"help\":\"Latency.\",\"count\":4,\"sum\":5.5,"
+        "\"p50\":1.5,\"p90\":2,\"p99\":2,"
+        "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2,\"count\":2},"
+        "{\"le\":null,\"count\":1}]}"
+        "]}");
+}
+
+TEST(MetricsExportTest, ExportersAreDeterministic)
+{
+    const MetricsSnapshot snapshot = goldenSnapshot();
+    EXPECT_EQ(metricsToJson(snapshot), metricsToJson(snapshot));
+    EXPECT_EQ(metricsToPrometheus(snapshot),
+              metricsToPrometheus(snapshot));
+}
+
+TEST(SpansExportTest, JsonGoldenNestsChildrenAndOrphans)
+{
+    std::vector<SpanRecord> spans;
+    spans.push_back({1, 0, "root", 0.0, 5.0});
+    spans.push_back({2, 1, "child-a", 1.0, 1.5});
+    spans.push_back({3, 1, "child-b", 2.5, 2.0});
+    spans.push_back({4, 99, "orphan", 0.5, 0.25}); // absent parent
+    EXPECT_EQ(
+        spansToJson(spans),
+        "{\"spans\":["
+        "{\"id\":1,\"name\":\"root\",\"startMillis\":0,\"millis\":5,"
+        "\"children\":["
+        "{\"id\":2,\"name\":\"child-a\",\"startMillis\":1,"
+        "\"millis\":1.5},"
+        "{\"id\":3,\"name\":\"child-b\",\"startMillis\":2.5,"
+        "\"millis\":2}]},"
+        "{\"id\":4,\"name\":\"orphan\",\"startMillis\":0.5,"
+        "\"millis\":0.25}"
+        "]}");
+}
+
+// --- tracer behavior ---------------------------------------------------
+
+TEST(TracerTest, NestedSpansLinkToStackParent)
+{
+    SKIP_IF_NO_TELEMETRY();
+    Tracer tracer;
+    tracer.enable(true);
+    {
+        SpanScope outer(&tracer, "outer");
+        EXPECT_EQ(tracer.currentSpan(), outer.id());
+        {
+            SpanScope inner(&tracer, "inner");
+            EXPECT_EQ(tracer.currentSpan(), inner.id());
+        }
+        EXPECT_EQ(tracer.currentSpan(), outer.id());
+    }
+    EXPECT_EQ(tracer.currentSpan(), 0u);
+
+    const std::vector<SpanRecord> spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    // Sorted by id = start order: outer first.
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].parent, 0u);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].parent, spans[0].id);
+    EXPECT_GE(spans[0].durationMillis, spans[1].durationMillis);
+}
+
+TEST(TracerTest, ExplicitParentConnectsAcrossThreads)
+{
+    SKIP_IF_NO_TELEMETRY();
+    Tracer tracer;
+    tracer.enable(true);
+    uint64_t root_id = 0;
+    {
+        SpanScope root(&tracer, "batch");
+        root_id = root.id();
+        std::thread worker([&] {
+            SpanScope item(&tracer, "item", root_id);
+            (void)item;
+        });
+        worker.join();
+    }
+    const std::vector<SpanRecord> spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "batch");
+    EXPECT_EQ(spans[1].name, "item");
+    EXPECT_EQ(spans[1].parent, root_id);
+}
+
+TEST(TracerTest, ClearDropsRecordedSpans)
+{
+    SKIP_IF_NO_TELEMETRY();
+    Tracer tracer;
+    tracer.enable(true);
+    { SpanScope span(&tracer, "a"); }
+    ASSERT_EQ(tracer.snapshot().size(), 1u);
+    tracer.clear();
+    EXPECT_TRUE(tracer.snapshot().empty());
+    { SpanScope span(&tracer, "b"); }
+    EXPECT_EQ(tracer.snapshot().size(), 1u);
+}
+
+TEST(TracerTest, DisabledTracerStillTimes)
+{
+    // Works in every build mode: a SpanScope over a disabled (or null)
+    // tracer is a stopwatch, which FlowTrace depends on.
+    Tracer tracer; // disabled by default
+    SpanScope span(&tracer, "timed");
+    EXPECT_EQ(span.id(), 0u);
+    const double first = span.finishMillis();
+    EXPECT_GE(first, 0.0);
+    EXPECT_EQ(span.finishMillis(), first); // idempotent
+    EXPECT_TRUE(tracer.snapshot().empty());
+
+    SpanScope null_span(nullptr, "timed");
+    EXPECT_GE(null_span.finishMillis(), 0.0);
+}

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
 #include "support/bits.hh"
+#include "support/json.hh"
 #include "support/history.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
@@ -226,6 +231,90 @@ TEST(StatsTest, SafeRatio)
 {
     EXPECT_DOUBLE_EQ(safeRatio(1.0, 2.0), 0.5);
     EXPECT_DOUBLE_EQ(safeRatio(1.0, 0.0), 0.0);
+}
+
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics)
+{
+    const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 25.0), 1.75);
+    // Out-of-range percentiles clamp; empty input is zero.
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, 150.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted({}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, QuantilesOfSortsItsInput)
+{
+    std::vector<double> samples;
+    for (int i = 100; i >= 1; --i)
+        samples.push_back(static_cast<double>(i));
+    const Quantiles q = quantilesOf(samples);
+    EXPECT_DOUBLE_EQ(q.p50, 50.5);
+    EXPECT_DOUBLE_EQ(q.p90, 90.1);
+    EXPECT_DOUBLE_EQ(q.p99, 99.01);
+}
+
+TEST(PercentileTest, HistogramQuantileInterpolatesWithinBucket)
+{
+    const std::vector<double> bounds = {1.0, 2.0};
+    const std::vector<uint64_t> counts = {1, 2, 1}; // + overflow
+    EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 50.0), 1.5);
+    // Percentiles landing in the overflow bucket report the last
+    // finite bound.
+    EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 99.0), 2.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(bounds, {0, 0, 0}, 50.0), 0.0);
+    // First bucket interpolates from an implicit lower edge of 0.
+    EXPECT_DOUBLE_EQ(histogramQuantile(bounds, {4, 0, 0}, 50.0), 0.5);
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    // "\x01" is split from the following 'f' so the hex escape does
+    // not greedily consume it.
+    json.value(std::string_view("a\"b\\c\nd\te\x01"
+                                "f"));
+    EXPECT_EQ(out.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderNull)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginArray();
+    json.value(std::numeric_limits<double>::quiet_NaN());
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(-std::numeric_limits<double>::infinity());
+    json.value(1.5);
+    json.endArray();
+    EXPECT_EQ(out.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriterTest, DeepNestingKeepsCommasStraight)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    constexpr int kDepth = 64;
+    for (int i = 0; i < kDepth; ++i)
+        json.beginObject().key("k").beginArray().value(i);
+    for (int i = 0; i < kDepth; ++i) {
+        json.value(-1);
+        json.endArray().endObject();
+    }
+    const std::string text = out.str();
+    // Spot-check shape: it must start with the outermost object and
+    // balance every bracket it opened.
+    EXPECT_EQ(text.substr(0, 9), "{\"k\":[0,{");
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
+    EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+              std::count(text.begin(), text.end(), ']'));
+    EXPECT_NE(text.find(",-1]}"), std::string::npos);
 }
 
 } // anonymous namespace
