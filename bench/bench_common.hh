@@ -50,6 +50,7 @@ struct BenchOptions
     std::string metricsOut;
     /** "json" or "prom" (set explicitly or inferred from metricsOut). */
     std::string metricsFormat = "json";
+    bool metricsFormatSet = false;
 
     /** positional[i] as long, or @p fallback when absent. */
     long
@@ -107,6 +108,7 @@ parseBenchArgs(int argc, char **argv, const char *usage)
             options.metricsOut = std::string(value);
         } else if (consumeFlag(arg, "--metrics-format=", value)) {
             options.metricsFormat = std::string(value);
+            options.metricsFormatSet = true;
         } else if (!arg.empty() && arg[0] == '-' &&
                    !(arg.size() > 1 &&
                      (std::isdigit(static_cast<unsigned char>(arg[1])) !=
@@ -125,7 +127,7 @@ parseBenchArgs(int argc, char **argv, const char *usage)
         std::cerr << argv[0] << ": --metrics-format must be json or prom\n";
         std::exit(2);
     }
-    if (!options.metricsOut.empty() &&
+    if (!options.metricsFormatSet && !options.metricsOut.empty() &&
         options.metricsOut.size() >= 5 &&
         options.metricsOut.compare(options.metricsOut.size() - 5, 5,
                                    ".prom") == 0) {

@@ -41,11 +41,11 @@ XScaleBtb::hit(uint64_t pc) const
 bool
 XScaleBtb::predict(uint64_t pc) const
 {
-    ++lookups_;
+    lookups_.fetch_add(1, std::memory_order_relaxed);
     const Entry &entry = entries_[indexOf(pc)];
     if (!entry.valid || entry.tag != tagOf(pc))
         return false; // BTB miss: predict not-taken
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return entry.counter.predict();
 }
 

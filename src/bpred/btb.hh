@@ -11,6 +11,8 @@
 #ifndef AUTOFSM_BPRED_BTB_HH
 #define AUTOFSM_BPRED_BTB_HH
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "bpred/predictor.hh"
@@ -44,10 +46,18 @@ class XScaleBtb : public BranchPredictor
     bool hit(uint64_t pc) const;
 
     /** Lifetime predict() calls (telemetry: autofsm_btb_lookups_total). */
-    uint64_t lookups() const { return lookups_; }
+    uint64_t
+    lookups() const
+    {
+        return lookups_.load(std::memory_order_relaxed);
+    }
 
     /** Lifetime tag hits among those lookups. */
-    uint64_t hits() const { return hits_; }
+    uint64_t
+    hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
 
     const BtbConfig &config() const { return config_; }
 
@@ -68,9 +78,12 @@ class XScaleBtb : public BranchPredictor
     BtbConfig config_;
     AreaCosts costs_;
     std::vector<Entry> entries_;
-    /** Tallied locally in predict(); callers export them in bulk. */
-    mutable uint64_t lookups_ = 0;
-    mutable uint64_t hits_ = 0;
+    /** Tallied in predict() (const, hence mutable); relaxed atomics so
+     *  an instance shared across threads tallies without a data race.
+     *  The table itself is still single-writer via update(). Callers
+     *  export the totals in bulk via publishBtbMetrics(). */
+    mutable std::atomic<uint64_t> lookups_{0};
+    mutable std::atomic<uint64_t> hits_{0};
 };
 
 /**

@@ -13,17 +13,30 @@ namespace
  *  cache entry can never alias a newer registry at the same address. */
 std::atomic<uint64_t> next_registry_id{1};
 
+/** Append @p s to @p key with the \x1f separator and the \x1e escape
+ *  byte escaped, so arbitrary label text cannot forge a separator. */
+void
+appendKeyComponent(std::string &key, std::string_view s)
+{
+    for (const char c : s) {
+        if (c == '\x1f' || c == '\x1e')
+            key += '\x1e';
+        key += c;
+    }
+}
+
 /** Canonical text form of (name, labels), used as the dedup key and as
  *  the deterministic sort key of snapshots. */
 std::string
 metricKey(std::string_view name, const Labels &labels)
 {
-    std::string key(name);
+    std::string key;
+    appendKeyComponent(key, name);
     for (const auto &[k, v] : labels) {
-        key += '\x1f'; // unit separator: cannot collide with label text
-        key += k;
         key += '\x1f';
-        key += v;
+        appendKeyComponent(key, k);
+        key += '\x1f';
+        appendKeyComponent(key, v);
     }
     return key;
 }
@@ -74,7 +87,7 @@ MetricsRegistry::shardForThread()
     return cached_shard;
 }
 
-const MetricsRegistry::MetricInfo &
+MetricsRegistry::RegisteredMetric
 MetricsRegistry::registerMetric(std::string_view name, std::string_view help,
                                 Labels labels, MetricKind kind, size_t slots,
                                 std::vector<double> bounds)
@@ -97,7 +110,12 @@ MetricsRegistry::registerMetric(std::string_view name, std::string_view help,
                 "histogram '" + std::string(name) +
                 "' re-registered with different buckets");
         }
-        return existing;
+        RegisteredMetric out;
+        out.slot = existing.slot;
+        if (kind == MetricKind::Gauge)
+            out.gaugeCell = gauges_[existing.slot].get();
+        out.bounds = existing.bounds;
+        return out;
     }
 
     if (kind == MetricKind::Gauge) {
@@ -111,7 +129,10 @@ MetricsRegistry::registerMetric(std::string_view name, std::string_view help,
             std::bit_cast<uint64_t>(0.0)));
         byKey_.emplace(key, metrics_.size());
         metrics_.push_back(std::move(info));
-        return metrics_.back();
+        RegisteredMetric out;
+        out.slot = metrics_.back().slot;
+        out.gaugeCell = gauges_.back().get();
+        return out;
     }
 
     if (nextSlot_ + slots > kShardSlots) {
@@ -131,14 +152,17 @@ MetricsRegistry::registerMetric(std::string_view name, std::string_view help,
     nextSlot_ += slots;
     byKey_.emplace(key, metrics_.size());
     metrics_.push_back(std::move(info));
-    return metrics_.back();
+    RegisteredMetric out;
+    out.slot = metrics_.back().slot;
+    out.bounds = metrics_.back().bounds;
+    return out;
 }
 
 Counter
 MetricsRegistry::counter(std::string_view name, std::string_view help,
                          Labels labels)
 {
-    const MetricInfo &info = registerMetric(
+    const RegisteredMetric info = registerMetric(
         name, help, std::move(labels), MetricKind::Counter, 1, {});
     return Counter(this, info.slot);
 }
@@ -147,10 +171,9 @@ Gauge
 MetricsRegistry::gauge(std::string_view name, std::string_view help,
                        Labels labels)
 {
-    const MetricInfo &info = registerMetric(
+    const RegisteredMetric info = registerMetric(
         name, help, std::move(labels), MetricKind::Gauge, 0, {});
-    std::lock_guard<std::mutex> lock(mutex_);
-    return Gauge(this, gauges_[info.slot].get());
+    return Gauge(this, info.gaugeCell);
 }
 
 Histogram
@@ -164,7 +187,7 @@ MetricsRegistry::histogram(std::string_view name, std::string_view help,
     }
     // Layout: one slot per finite bucket, +Inf bucket, count, sum.
     const size_t slots = upperBounds.size() + 3;
-    const MetricInfo &info =
+    const RegisteredMetric info =
         registerMetric(name, help, std::move(labels),
                        MetricKind::Histogram, slots, std::move(upperBounds));
     return Histogram(this, info.slot, info.bounds);

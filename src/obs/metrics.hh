@@ -237,13 +237,23 @@ class MetricsRegistry
         std::shared_ptr<const std::vector<double>> bounds;
     };
 
+    /** Fields a handle needs, copied out of MetricInfo while mutex_ is
+     *  held — returning a reference into metrics_ would dangle as soon
+     *  as a concurrent registration grows the vector. */
+    struct RegisteredMetric
+    {
+        uint32_t slot = 0;
+        std::atomic<uint64_t> *gaugeCell = nullptr;
+        std::shared_ptr<const std::vector<double>> bounds;
+    };
+
     /** This thread's shard for this registry (created on first use). */
     Shard *shardForThread();
 
-    const MetricInfo &registerMetric(std::string_view name,
-                                     std::string_view help, Labels labels,
-                                     MetricKind kind, size_t slots,
-                                     std::vector<double> bounds);
+    RegisteredMetric registerMetric(std::string_view name,
+                                    std::string_view help, Labels labels,
+                                    MetricKind kind, size_t slots,
+                                    std::vector<double> bounds);
 
     std::atomic<bool> enabled_{true};
     const uint64_t id_;

@@ -234,6 +234,97 @@ TEST(MetricsRegistryTest, ConcurrentSnapshotConsistency)
     EXPECT_EQ(bucket_total, value.count);
 }
 
+/**
+ * Regression: registerMetric used to return a reference into the
+ * registry's metric vector that was read after the mutex was released,
+ * so a concurrent registration reallocating the vector was a
+ * use-after-free (caught by TSan/ASan here). Threads register fresh
+ * labelled metrics — forcing reallocation — while using the returned
+ * handles immediately; every handle must stay valid and land its writes.
+ */
+TEST(MetricsRegistryTest, ConcurrentRegistrationYieldsValidHandles)
+{
+    SKIP_IF_NO_TELEMETRY();
+    constexpr int kThreads = 8;
+    constexpr int kMetricsPerThread = 64;
+
+    MetricsRegistry registry;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int m = 0; m < kMetricsPerThread; ++m) {
+                const Labels labels = {
+                    {"thread", std::to_string(t)},
+                    {"metric", std::to_string(m)},
+                };
+                Counter counter =
+                    registry.counter("reg_race_total", "", labels);
+                counter.inc(3);
+                Gauge gauge = registry.gauge("reg_race_gauge", "", labels);
+                gauge.set(1.5);
+                Histogram hist = registry.histogram(
+                    "reg_race_millis", "", {1.0, 10.0}, labels);
+                hist.observe(0.5);
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread &worker : workers)
+        worker.join();
+
+    const MetricsSnapshot snapshot = registry.snapshot();
+    int counters = 0, gauges = 0, histograms = 0;
+    for (const MetricValue &metric : snapshot.metrics) {
+        if (metric.name == "reg_race_total") {
+            ++counters;
+            EXPECT_EQ(metric.count, 3u);
+        } else if (metric.name == "reg_race_gauge") {
+            ++gauges;
+            EXPECT_EQ(metric.value, 1.5);
+        } else if (metric.name == "reg_race_millis") {
+            ++histograms;
+            EXPECT_EQ(metric.histogram.count, 1u);
+        }
+    }
+    EXPECT_EQ(counters, kThreads * kMetricsPerThread);
+    EXPECT_EQ(gauges, kThreads * kMetricsPerThread);
+    EXPECT_EQ(histograms, kThreads * kMetricsPerThread);
+}
+
+/**
+ * Regression: the internal dedup key joins components with \x1f; label
+ * text containing that byte must not make distinct label sets alias
+ * one metric (or trick re-registration checks into a kind mismatch).
+ */
+TEST(MetricsRegistryTest, SeparatorBytesInLabelsDoNotCollide)
+{
+    SKIP_IF_NO_TELEMETRY();
+    MetricsRegistry registry;
+    // Same flattened byte stream with the naive key: a | b\x1fc  vs
+    // a\x1fb | c.
+    Counter first =
+        registry.counter("sep_total", "", {{"a", "b\x1f"
+                                                 "c"}});
+    Counter second = registry.counter("sep_total", "",
+                                      {{"a\x1f"
+                                        "b",
+                                        "c"}});
+    first.inc(1);
+    second.inc(10);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    std::vector<uint64_t> totals;
+    for (const MetricValue &metric : snapshot.metrics) {
+        if (metric.name == "sep_total")
+            totals.push_back(metric.count);
+    }
+    ASSERT_EQ(totals.size(), 2u);
+    EXPECT_EQ(totals[0] + totals[1], 11u);
+}
+
 // --- exporter goldens (hand-built snapshots; run in every build mode) --
 
 namespace
