@@ -15,7 +15,7 @@
 #include "bpred/trainer.hh"
 #include "fsmgen/predictor_fsm.hh"
 #include "support/history.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 #include "bench_common.hh"
 
@@ -62,10 +62,12 @@ main(int argc, char **argv)
               << std::setw(12) << "miss" << "\n";
 
     for (const std::string &name : branchBenchmarkNames()) {
-        const BranchTrace train =
-            makeBranchTrace(name, WorkloadInput::Train, branches);
-        const BranchTrace test =
-            makeBranchTrace(name, WorkloadInput::Test, branches);
+        const auto train_trace =
+            cachedBranchTrace(name, WorkloadInput::Train, branches);
+        const auto test_trace =
+            cachedBranchTrace(name, WorkloadInput::Test, branches);
+        const BranchTrace &train = *train_trace;
+        const BranchTrace &test = *test_trace;
 
         auto report = [&](double mass, bool unseen_dc) {
             CustomTrainingOptions options;

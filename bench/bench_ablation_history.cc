@@ -12,7 +12,7 @@
 
 #include "bpred/trainer.hh"
 #include "fsmgen/predictor_fsm.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 #include "bench_common.hh"
 
@@ -54,10 +54,12 @@ main(int argc, char **argv)
               << "\n";
 
     for (const std::string &name : branchBenchmarkNames()) {
-        const BranchTrace train =
-            makeBranchTrace(name, WorkloadInput::Train, branches);
-        const BranchTrace test =
-            makeBranchTrace(name, WorkloadInput::Test, branches);
+        const auto train_trace =
+            cachedBranchTrace(name, WorkloadInput::Train, branches);
+        const auto test_trace =
+            cachedBranchTrace(name, WorkloadInput::Test, branches);
+        const BranchTrace &train = *train_trace;
+        const BranchTrace &test = *test_trace;
 
         for (int order = 1; order <= 12; ++order) {
             CustomTrainingOptions options;

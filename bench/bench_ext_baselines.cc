@@ -21,7 +21,7 @@
 #include "bpred/ppm.hh"
 #include "bpred/simulate.hh"
 #include "bpred/trainer.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 #include "bench_common.hh"
 
@@ -41,10 +41,12 @@ loopSection(size_t branches)
               << std::setw(12) << "loop-unit" << "\n";
 
     for (const std::string &name : branchBenchmarkNames()) {
-        const BranchTrace train =
-            makeBranchTrace(name, WorkloadInput::Train, branches);
-        const BranchTrace test =
-            makeBranchTrace(name, WorkloadInput::Test, branches);
+        const auto train_trace =
+            cachedBranchTrace(name, WorkloadInput::Train, branches);
+        const auto test_trace =
+            cachedBranchTrace(name, WorkloadInput::Test, branches);
+        const BranchTrace &train = *train_trace;
+        const BranchTrace &test = *test_trace;
 
         // Find the most-taken-biased branch with occasional exits: the
         // loop shape (taken rate in [0.7, 0.99], enough executions).
@@ -118,10 +120,12 @@ ppmSection(size_t branches)
               << "custom-8" << "\n";
 
     for (const std::string &name : branchBenchmarkNames()) {
-        const BranchTrace train =
-            makeBranchTrace(name, WorkloadInput::Train, branches);
-        const BranchTrace test =
-            makeBranchTrace(name, WorkloadInput::Test, branches);
+        const auto train_trace =
+            cachedBranchTrace(name, WorkloadInput::Train, branches);
+        const auto test_trace =
+            cachedBranchTrace(name, WorkloadInput::Test, branches);
+        const BranchTrace &train = *train_trace;
+        const BranchTrace &test = *test_trace;
 
         XScaleBtb btb;
         const double base =

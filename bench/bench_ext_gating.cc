@@ -20,7 +20,7 @@
 #include "bpred/branch_confidence.hh"
 #include "bpred/btb.hh"
 #include "fsmgen/designer.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 #include "bench_common.hh"
 
@@ -59,10 +59,9 @@ main(int argc, char **argv)
               << "\n";
 
     for (const std::string &name : branchBenchmarkNames()) {
-        const BranchTrace train =
-            makeBranchTrace(name, WorkloadInput::Train, branches);
-        const BranchTrace test =
-            makeBranchTrace(name, WorkloadInput::Test, branches);
+        const auto test_trace =
+            cachedBranchTrace(name, WorkloadInput::Test, branches);
+        const BranchTrace &test = *test_trace;
 
         // Standard counter-based estimators.
         {
@@ -86,8 +85,9 @@ main(int argc, char **argv)
         for (const std::string &other : branchBenchmarkNames()) {
             if (other == name)
                 continue;
-            const BranchTrace other_train =
-                makeBranchTrace(other, WorkloadInput::Train, branches);
+            const auto other_train_trace =
+                cachedBranchTrace(other, WorkloadInput::Train, branches);
+            const BranchTrace &other_train = *other_train_trace;
             XScaleBtb predictor;
             collectBranchConfidenceModel(predictor, other_train,
                                          log2_entries, model);

@@ -18,7 +18,7 @@
 #include "bpred/counter_design.hh"
 #include "bpred/fsm_bimodal.hh"
 #include "bpred/simulate.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 #include "bench_common.hh"
 
@@ -40,8 +40,9 @@ main(int argc, char **argv)
               << "\n";
 
     for (const std::string &name : branchBenchmarkNames()) {
-        const BranchTrace test =
-            makeBranchTrace(name, WorkloadInput::Test, branches);
+        const auto test_trace =
+            cachedBranchTrace(name, WorkloadInput::Test, branches);
+        const BranchTrace &test = *test_trace;
 
         XScaleBtb baseline;
         const double base =
@@ -53,7 +54,7 @@ main(int argc, char **argv)
         std::vector<BranchTrace> suite;
         for (const std::string &other : branchBenchmarkNames()) {
             if (other != name) {
-                suite.push_back(makeBranchTrace(
+                suite.push_back(*cachedBranchTrace(
                     other, WorkloadInput::Train, branches));
             }
         }

@@ -46,8 +46,10 @@ main(int argc, char **argv)
     Fig5Options options;
     options.branchesPerRun = static_cast<size_t>(
         args.positionalOr(0, static_cast<long>(options.branchesPerRun)));
-    if (args.threadsSet)
+    if (args.threadsSet) {
         options.training.threads = args.threads;
+        options.sweepThreads = args.threads;
+    }
 
     std::cout << "Reproduction of Figure 5 (Sherwood & Calder, ISCA'01)\n"
               << "branches per run: " << options.branchesPerRun << "\n\n";

@@ -21,7 +21,7 @@
 #include "flow/batch.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 #include "bench_common.hh"
 
@@ -58,9 +58,9 @@ main(int argc, char **argv)
               << " branches/run, up to " << max_branches
               << " hot branches per benchmark):\n";
     for (const std::string &name : branchBenchmarkNames()) {
-        const BranchTrace trace = makeBranchTrace(
+        const auto trace = cachedBranchTrace(
             name, WorkloadInput::Train, branches_per_run);
-        const auto candidates = collectBranchModels(trace, training);
+        const auto candidates = collectBranchModels(*trace, training);
         for (const auto &candidate : candidates)
             models.push_back(candidate.model);
         std::cout << "  " << name << ": " << candidates.size()

@@ -17,7 +17,7 @@
 #include "bpred/simulate.hh"
 #include "bpred/trainer.hh"
 #include "synth/vhdl.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 #include "../bench/bench_common.hh"
 
@@ -35,13 +35,13 @@ main(int argc, char **argv)
               << "'\n\n";
 
     // --- 1. Profile on the training input ------------------------------
-    const BranchTrace train =
-        makeBranchTrace(benchmark, WorkloadInput::Train, 200000);
+    const std::shared_ptr<const BranchTrace> train =
+        cachedBranchTrace(benchmark, WorkloadInput::Train, 200000);
     CustomTrainingOptions options;
     options.maxCustomBranches = num_custom;
     options.historyLength = 9; // the paper's setting
     const std::vector<TrainedBranch> trained =
-        trainCustomPredictors(train, options);
+        trainCustomPredictors(*train, options);
 
     std::cout << "worst branches by baseline mispredictions:\n";
     for (const auto &branch : trained) {
@@ -57,12 +57,12 @@ main(int argc, char **argv)
         custom.addCustomEntry(branch.pc, branch.design.fsm);
 
     // --- 3. Evaluate on a *different* input (custom-diff) --------------
-    const BranchTrace test =
-        makeBranchTrace(benchmark, WorkloadInput::Test, 200000);
+    const std::shared_ptr<const BranchTrace> test =
+        cachedBranchTrace(benchmark, WorkloadInput::Test, 200000);
 
     XScaleBtb baseline;
-    const BpredSimResult base_r = simulateBranchPredictor(baseline, test);
-    const BpredSimResult custom_r = simulateBranchPredictor(custom, test);
+    const BpredSimResult base_r = simulateBranchPredictor(baseline, *test);
+    const BpredSimResult custom_r = simulateBranchPredictor(custom, *test);
 
     std::cout << std::fixed << std::setprecision(2);
     std::cout << "\nXScale baseline: " << base_r.missRate() * 100.0

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <deque>
-#include <map>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 namespace autofsm
 {
@@ -183,6 +184,13 @@ Dfa::minimizeHopcroft() const
         worklist.emplace_back(static_cast<int>(b), 1);
     }
 
+    // Per-state / per-block mark scratch, reused across splitters. A
+    // refinement never has more blocks than states, so size n covers
+    // every block index the loop can mint.
+    std::vector<char> state_touched(static_cast<size_t>(n), 0);
+    std::vector<char> block_touched(static_cast<size_t>(n), 0);
+    std::vector<int> touched_blocks;
+
     while (!worklist.empty()) {
         const auto [splitter, symbol] = worklist.front();
         worklist.pop_front();
@@ -196,24 +204,35 @@ Dfa::minimizeHopcroft() const
         if (incoming.empty())
             continue;
 
-        // Group incoming states by their current block.
-        std::map<int, std::vector<int>> touched;
-        for (int s : incoming)
-            touched[block_of[static_cast<size_t>(s)]].push_back(s);
-
-        for (auto &[block_idx, members] : touched) {
-            auto &block = blocks[static_cast<size_t>(block_idx)];
-            if (members.size() == block.size())
-                continue; // no split: all of the block was touched
-
-            // Split `block` into touched (members) and untouched parts.
-            std::sort(members.begin(), members.end());
-            std::vector<int> untouched;
-            untouched.reserve(block.size() - members.size());
-            for (int s : block) {
-                if (!std::binary_search(members.begin(), members.end(), s))
-                    untouched.push_back(s);
+        // Mark incoming states and collect the blocks they live in.
+        touched_blocks.clear();
+        for (int s : incoming) {
+            state_touched[static_cast<size_t>(s)] = 1;
+            const int b = block_of[static_cast<size_t>(s)];
+            if (!block_touched[static_cast<size_t>(b)]) {
+                block_touched[static_cast<size_t>(b)] = 1;
+                touched_blocks.push_back(b);
             }
+        }
+        // Ascending block order keeps the split/worklist sequence (and
+        // hence state numbering) identical to the ordered-map version.
+        std::sort(touched_blocks.begin(), touched_blocks.end());
+
+        for (int block_idx : touched_blocks) {
+            block_touched[static_cast<size_t>(block_idx)] = 0;
+            auto &block = blocks[static_cast<size_t>(block_idx)];
+
+            // Split `block` into touched and untouched parts. Blocks
+            // stay sorted (the initial partition is in state order and
+            // both halves of a split preserve it), so a single ordered
+            // pass replaces the old sort + binary_search.
+            std::vector<int> members, untouched;
+            for (int s : block)
+                (state_touched[static_cast<size_t>(s)] ? members
+                                                       : untouched)
+                    .push_back(s);
+            if (untouched.empty())
+                continue; // no split: all of the block was touched
 
             const int new_idx = static_cast<int>(blocks.size());
             // Keep the smaller part as the new block (Hopcroft's trick).
@@ -228,6 +247,9 @@ Dfa::minimizeHopcroft() const
             worklist.emplace_back(new_idx, 0);
             worklist.emplace_back(new_idx, 1);
         }
+
+        for (int s : incoming)
+            state_touched[static_cast<size_t>(s)] = 0;
     }
 
     // Build the quotient machine.
@@ -304,11 +326,33 @@ Dfa::toDot(const std::string &name) const
     return out.str();
 }
 
+namespace
+{
+
+/** FNV-1a over the packed state indices of a (sorted) subset. */
+struct SubsetHash
+{
+    size_t
+    operator()(const std::vector<int> &subset) const
+    {
+        uint64_t h = 0xcbf29ce484222325ULL;
+        for (int s : subset) {
+            h ^= static_cast<uint32_t>(s);
+            h *= 0x100000001b3ULL;
+        }
+        return static_cast<size_t>(h);
+    }
+};
+
+} // anonymous namespace
+
 Dfa
 Dfa::fromNfa(const Nfa &nfa)
 {
     Dfa dfa;
-    std::map<std::vector<int>, int> subset_ids;
+    // DFA state numbering is fixed by the BFS discovery order below,
+    // not by map iteration, so hashing keeps output bit-identical.
+    std::unordered_map<std::vector<int>, int, SubsetHash> subset_ids;
     std::deque<std::vector<int>> queue;
 
     auto accepting = [&nfa](const std::vector<int> &subset) {

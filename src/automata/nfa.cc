@@ -36,11 +36,14 @@ Nfa::markAccepting(int state)
 std::vector<int>
 Nfa::closure(std::vector<int> set) const
 {
-    std::vector<bool> in_set(states_.size(), false);
+    if (markScratch_.size() < states_.size())
+        markScratch_.resize(states_.size(), 0);
+    const uint64_t epoch = ++markEpoch_;
+
     std::vector<int> stack;
     for (int s : set) {
-        if (!in_set[static_cast<size_t>(s)]) {
-            in_set[static_cast<size_t>(s)] = true;
+        if (markScratch_[static_cast<size_t>(s)] != epoch) {
+            markScratch_[static_cast<size_t>(s)] = epoch;
             stack.push_back(s);
         }
     }
@@ -50,8 +53,8 @@ Nfa::closure(std::vector<int> set) const
         stack.pop_back();
         out.push_back(s);
         for (int t : states_[static_cast<size_t>(s)].eps) {
-            if (!in_set[static_cast<size_t>(t)]) {
-                in_set[static_cast<size_t>(t)] = true;
+            if (markScratch_[static_cast<size_t>(t)] != epoch) {
+                markScratch_[static_cast<size_t>(t)] = epoch;
                 stack.push_back(t);
             }
         }

@@ -67,6 +67,19 @@ class Nfa
     std::vector<State> states_;
     std::vector<bool> accepting_;
     int start_ = 0;
+
+    /**
+     * Scratch for closure(): states whose entry equals the current
+     * epoch are in the working set, so a bump of markEpoch_ clears all
+     * marks at once instead of zeroing a bitmap per call. Subset
+     * construction calls closure() once per (subset, symbol), which
+     * made that per-call allocation + clear the dominant cost.
+     * Mutating scratch makes closure() non-reentrant: concurrent calls
+     * on the *same* Nfa would race. Each design flow owns its automata
+     * privately, so this holds throughout the codebase.
+     */
+    mutable std::vector<uint64_t> markScratch_;
+    mutable uint64_t markEpoch_ = 0;
 };
 
 } // namespace autofsm

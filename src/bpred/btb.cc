@@ -85,18 +85,25 @@ XScaleBtb::name() const
 void
 publishBtbMetrics(const XScaleBtb &btb)
 {
+    publishBtbMetrics(btb.name(), btb.lookups(), btb.hits());
+}
+
+void
+publishBtbMetrics(const std::string &btb_name, uint64_t lookups,
+                  uint64_t hits)
+{
     obs::MetricsRegistry &registry = obs::globalMetrics();
     if (!registry.enabled())
         return;
-    const obs::Labels labels = {{"btb", btb.name()}};
+    const obs::Labels labels = {{"btb", btb_name}};
     registry
         .counter("autofsm_btb_lookups_total",
                  "BTB predict() lookups across simulation passes.", labels)
-        .inc(btb.lookups());
+        .inc(lookups);
     registry
         .counter("autofsm_btb_hits_total",
                  "BTB tag hits among those lookups.", labels)
-        .inc(btb.hits());
+        .inc(hits);
 }
 
 } // namespace autofsm

@@ -31,7 +31,7 @@ struct BtbConfig
 };
 
 /** Direct-mapped BTB with a 2-bit counter per entry. */
-class XScaleBtb : public BranchPredictor
+class XScaleBtb final : public BranchPredictor
 {
   public:
     explicit XScaleBtb(const BtbConfig &config = {},
@@ -92,6 +92,13 @@ class XScaleBtb : public BranchPredictor
  * BTB's name). Call once per finished simulation pass.
  */
 void publishBtbMetrics(const XScaleBtb &btb);
+
+/**
+ * Same export for callers that tally outside an XScaleBtb instance
+ * (e.g. the sweep engine's BtbKernel).
+ */
+void publishBtbMetrics(const std::string &btb_name, uint64_t lookups,
+                       uint64_t hits);
 
 } // namespace autofsm
 

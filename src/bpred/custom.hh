@@ -29,7 +29,7 @@ struct CustomEntryConfig
 };
 
 /** The customized architecture: baseline BTB + custom FSM entries. */
-class CustomBranchPredictor : public BranchPredictor
+class CustomBranchPredictor final : public BranchPredictor
 {
   public:
     /**

@@ -31,7 +31,7 @@ struct GshareConfig
 };
 
 /** The gshare predictor. */
-class Gshare : public BranchPredictor
+class Gshare final : public BranchPredictor
 {
   public:
     explicit Gshare(const GshareConfig &config = {},

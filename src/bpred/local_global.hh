@@ -30,7 +30,7 @@ struct LgcConfig
 };
 
 /** The Local Global Chooser predictor. */
-class LocalGlobalChooser : public BranchPredictor
+class LocalGlobalChooser final : public BranchPredictor
 {
   public:
     explicit LocalGlobalChooser(const LgcConfig &config = {},

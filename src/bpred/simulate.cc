@@ -5,21 +5,19 @@
 namespace autofsm
 {
 
-namespace
-{
-
-/**
- * Publish one run's tallies. Counters are registered per predictor name
- * (bounded label cardinality: one per swept configuration) and bumped
- * once per run, so the per-branch hot loop stays untouched.
+/*
+ * Counters are registered per predictor name (bounded label
+ * cardinality: one per swept configuration) and bumped once per run,
+ * so the per-branch hot loop stays untouched.
  */
 void
-publishRun(const BranchPredictor &predictor, const BpredSimResult &result)
+publishBpredRun(const std::string &predictor_name,
+                const BpredSimResult &result)
 {
     obs::MetricsRegistry &registry = obs::globalMetrics();
     if (!registry.enabled())
         return;
-    const obs::Labels labels = {{"predictor", predictor.name()}};
+    const obs::Labels labels = {{"predictor", predictor_name}};
     registry
         .counter("autofsm_bpred_branches_total",
                  "Dynamic branches simulated.", labels)
@@ -29,8 +27,6 @@ publishRun(const BranchPredictor &predictor, const BpredSimResult &result)
                  "Mispredicted dynamic branches.", labels)
         .inc(result.mispredicts);
 }
-
-} // anonymous namespace
 
 BpredSimResult
 simulateBranchPredictor(BranchPredictor &predictor, const BranchTrace &trace)
@@ -42,7 +38,7 @@ simulateBranchPredictor(BranchPredictor &predictor, const BranchTrace &trace)
             ++result.mispredicts;
         predictor.update(record.pc, record.taken);
     }
-    publishRun(predictor, result);
+    publishBpredRun(predictor.name(), result);
     return result;
 }
 
@@ -59,7 +55,7 @@ simulateBranchPredictor(BranchPredictor &predictor, const BranchTrace &trace,
         }
         predictor.update(record.pc, record.taken);
     }
-    publishRun(predictor, result);
+    publishBpredRun(predictor.name(), result);
     return result;
 }
 

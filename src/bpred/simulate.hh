@@ -6,6 +6,7 @@
 #ifndef AUTOFSM_BPRED_SIMULATE_HH
 #define AUTOFSM_BPRED_SIMULATE_HH
 
+#include <string>
 #include <unordered_map>
 
 #include "bpred/predictor.hh"
@@ -30,6 +31,15 @@ struct BpredSimResult
                 static_cast<double>(branches);
     }
 };
+
+/**
+ * Publish one run's branch/mispredict tallies to the global metrics
+ * registry, labelled with @p predictor_name. Called once per finished
+ * run by simulateBranchPredictor and the sweep kernels, so both paths
+ * export identical counters.
+ */
+void publishBpredRun(const std::string &predictor_name,
+                     const BpredSimResult &result);
 
 /** Drive @p predictor with @p trace (predict, then update, per record). */
 BpredSimResult simulateBranchPredictor(BranchPredictor &predictor,

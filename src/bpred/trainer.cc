@@ -12,14 +12,26 @@ namespace autofsm
 {
 
 std::vector<std::pair<uint64_t, uint64_t>>
-profileBaselineMisses(const BranchTrace &trace, const BtbConfig &baseline)
+profileBaselineMisses(const BranchTrace &trace, const BtbConfig &baseline,
+                      BaselineBtbProfile *profile)
 {
     XScaleBtb btb(baseline);
     std::unordered_map<uint64_t, uint64_t> misses;
+    uint64_t total = 0;
     for (const auto &record : trace) {
-        if (btb.predict(record.pc) != record.taken)
+        if (btb.predict(record.pc) != record.taken) {
             ++misses[record.pc];
+            ++total;
+        }
         btb.update(record.pc, record.taken);
+    }
+    if (profile) {
+        profile->valid = true;
+        profile->mispredicts = total;
+        profile->lookups = btb.lookups();
+        profile->hits = btb.hits();
+        profile->area = btb.area();
+        profile->name = btb.name();
     }
 
     std::vector<std::pair<uint64_t, uint64_t>> ranked(misses.begin(),
@@ -35,26 +47,36 @@ profileBaselineMisses(const BranchTrace &trace, const BtbConfig &baseline)
 
 std::vector<BranchModel>
 collectBranchModels(const BranchTrace &trace,
-                    const CustomTrainingOptions &options)
+                    const CustomTrainingOptions &options,
+                    BaselineBtbProfile *profile)
 {
-    const auto ranked = profileBaselineMisses(trace, options.baseline);
+    const auto ranked =
+        profileBaselineMisses(trace, options.baseline, profile);
     const size_t count = std::min(
         ranked.size(), static_cast<size_t>(options.maxCustomBranches));
 
     // Second pass: one Markov model per selected branch, fed with the
     // global history register content at each execution of that branch.
+    // The same pass records where each selected branch executes - the
+    // sweep engine replays machines at exactly these positions.
     std::unordered_map<uint64_t, MarkovModel> models;
-    for (size_t i = 0; i < count; ++i)
+    std::unordered_map<uint64_t, std::vector<uint32_t>> positions;
+    for (size_t i = 0; i < count; ++i) {
         models.emplace(ranked[i].first, MarkovModel(options.historyLength));
+        positions.emplace(ranked[i].first, std::vector<uint32_t>());
+    }
 
     HistoryRegister global(options.historyLength);
+    uint32_t index = 0;
     for (const auto &record : trace) {
-        if (global.warm()) {
-            const auto it = models.find(record.pc);
-            if (it != models.end())
+        const auto it = models.find(record.pc);
+        if (it != models.end()) {
+            positions.at(record.pc).push_back(index);
+            if (global.warm())
                 it->second.observe(global.value(), record.taken ? 1 : 0);
         }
         global.push(record.taken ? 1 : 0);
+        ++index;
     }
 
     std::vector<BranchModel> candidates;
@@ -64,6 +86,7 @@ collectBranchModels(const BranchTrace &trace,
         candidate.pc = ranked[i].first;
         candidate.baselineMisses = ranked[i].second;
         candidate.model = std::move(models.at(candidate.pc));
+        candidate.positions = std::move(positions.at(candidate.pc));
         candidates.push_back(std::move(candidate));
     }
     return candidates;
@@ -71,10 +94,11 @@ collectBranchModels(const BranchTrace &trace,
 
 std::vector<TrainedBranch>
 trainCustomPredictors(const BranchTrace &trace,
-                      const CustomTrainingOptions &options)
+                      const CustomTrainingOptions &options,
+                      BaselineBtbProfile *profile)
 {
     std::vector<BranchModel> candidates =
-        collectBranchModels(trace, options);
+        collectBranchModels(trace, options, profile);
 
     FsmDesignOptions design;
     design.order = options.historyLength;
@@ -106,6 +130,8 @@ trainCustomPredictors(const BranchTrace &trace,
         branch.baselineMisses = candidates[i].baselineMisses;
         branch.design = std::move(designed[i].flow.design);
         branch.trace = std::move(designed[i].flow.trace);
+        branch.fsmArea = estimateFsmArea(branch.design.fsm);
+        branch.trainPositions = std::move(candidates[i].positions);
         trained.push_back(std::move(branch));
     }
     return trained;

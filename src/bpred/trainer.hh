@@ -19,6 +19,7 @@
 #include "bpred/btb.hh"
 #include "flow/design_flow.hh"
 #include "fsmgen/designer.hh"
+#include "synth/area.hh"
 #include "trace/branch_trace.hh"
 
 namespace autofsm
@@ -44,6 +45,26 @@ struct CustomTrainingOptions
     unsigned threads = 0;
 };
 
+/**
+ * Whole-trace tallies of the baseline profiling pass (step 1). The
+ * sweep engine's custom-same curve replays the training trace against
+ * the same baseline the profiler already simulated, so recording the
+ * pass here lets that curve skip the BTB chain entirely.
+ */
+struct BaselineBtbProfile
+{
+    /** True once a profiling pass has filled the struct. */
+    bool valid = false;
+    /** Baseline mispredictions over the whole training trace. */
+    uint64_t mispredicts = 0;
+    /** Lookup/hit tallies of the pass (telemetry parity). */
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    /** The baseline's area (default AreaCosts) and name. */
+    double area = 0.0;
+    std::string name;
+};
+
 /** One candidate branch with its trained global-history Markov model. */
 struct BranchModel
 {
@@ -51,6 +72,8 @@ struct BranchModel
     /** Baseline mispredictions in the profiling run (ranking key). */
     uint64_t baselineMisses = 0;
     MarkovModel model{1};
+    /** Record indices in the training trace where this branch executes. */
+    std::vector<uint32_t> positions;
 };
 
 /** One trained branch: who it is, how bad it was, and its machine. */
@@ -63,6 +86,18 @@ struct TrainedBranch
     FsmDesignResult design;
     /** Per-stage wall-clock and state counts of this branch's design. */
     FlowTrace trace;
+    /**
+     * Synthesis estimate of the final FSM (default AreaCosts), computed
+     * once here so curve assembly and sampling never re-synthesize the
+     * machine.
+     */
+    AreaEstimate fsmArea;
+    /**
+     * Record indices in the training trace where this branch executes,
+     * recorded during model building. With a BaselineBtbProfile these
+     * let the custom-same replay skip its baseline pass.
+     */
+    std::vector<uint32_t> trainPositions;
 };
 
 /**
@@ -71,11 +106,14 @@ struct TrainedBranch
  * Markov model per selected branch (steps 1-2 of Section 7.3).
  *
  * @return Candidate branches sorted by decreasing baseline
- *         mispredictions, each carrying its trained model.
+ *         mispredictions, each carrying its trained model and its
+ *         record positions in @p trace. When @p profile is non-null it
+ *         receives the baseline pass's whole-trace tallies.
  */
 std::vector<BranchModel>
 collectBranchModels(const BranchTrace &trace,
-                    const CustomTrainingOptions &options = {});
+                    const CustomTrainingOptions &options = {},
+                    BaselineBtbProfile *profile = nullptr);
 
 /**
  * Profile @p trace with the baseline predictor and design one FSM per
@@ -84,11 +122,16 @@ collectBranchModels(const BranchTrace &trace,
  * to the serial flow for any thread count.
  *
  * @return Trained branches sorted by decreasing baseline mispredictions
- *         (the order in which Figure 5 adds custom entries).
+ *         (the order in which Figure 5 adds custom entries). When
+ *         @p profile is non-null it receives the baseline pass's
+ *         whole-trace tallies; together with each branch's
+ *         trainPositions these let evaluateFigure5's custom-same curve
+ *         reuse the profiling pass instead of re-simulating the BTB.
  */
 std::vector<TrainedBranch>
 trainCustomPredictors(const BranchTrace &trace,
-                      const CustomTrainingOptions &options = {});
+                      const CustomTrainingOptions &options = {},
+                      BaselineBtbProfile *profile = nullptr);
 
 /**
  * Per-branch baseline misprediction counts for @p trace under a fresh
@@ -96,7 +139,8 @@ trainCustomPredictors(const BranchTrace &trace,
  */
 std::vector<std::pair<uint64_t, uint64_t>>
 profileBaselineMisses(const BranchTrace &trace,
-                      const BtbConfig &baseline = {});
+                      const BtbConfig &baseline = {},
+                      BaselineBtbProfile *profile = nullptr);
 
 } // namespace autofsm
 

@@ -1,10 +1,12 @@
 #include "sim/figure4.hh"
 
+#include <memory>
+
 #include "bpred/trainer.hh"
 #include "obs/metrics.hh"
 #include "support/rng.hh"
 #include "support/thread_pool.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 namespace autofsm
 {
@@ -23,19 +25,19 @@ runFigure4(const Fig4Options &options)
         [&](size_t b) {
             Rng rng(options.seed +
                     0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(b + 1));
-            const BranchTrace trace = makeBranchTrace(
-                names[b], WorkloadInput::Train, options.branchesPerRun);
+            const std::shared_ptr<const BranchTrace> trace =
+                cachedBranchTrace(names[b], WorkloadInput::Train,
+                                  options.branchesPerRun);
             CustomTrainingOptions training;
             training.historyLength = options.historyLength;
             training.maxCustomBranches = options.fsmsPerBenchmark;
             // The per-branch designs inside one benchmark run serially;
             // parallelism lives at the benchmark level here.
             training.threads = 1;
-            const auto trained = trainCustomPredictors(trace, training);
+            const auto trained = trainCustomPredictors(*trace, training);
             for (const auto &branch : trained) {
                 if (rng.uniform() <= options.sampleFraction)
-                    sampled[b].push_back(
-                        estimateFsmArea(branch.design.fsm));
+                    sampled[b].push_back(branch.fsmArea);
             }
         },
         options.threads);

@@ -1,16 +1,14 @@
 #include "sim/figure5.hh"
 
 #include <algorithm>
-#include <unordered_map>
+#include <memory>
 
-#include "bpred/btb.hh"
 #include "bpred/custom.hh"
-#include "bpred/gshare.hh"
-#include "bpred/local_global.hh"
-#include "bpred/simulate.hh"
+#include "sim/packed_trace.hh"
+#include "sim/sweep.hh"
 #include "support/thread_pool.hh"
 #include "synth/area.hh"
-#include "workloads/branch_workloads.hh"
+#include "workloads/trace_cache.hh"
 
 namespace autofsm
 {
@@ -19,64 +17,33 @@ namespace
 {
 
 /**
- * Evaluate the whole custom curve in one pass. Custom entries are
- * independent of the BTB and of each other (they only read the global
- * outcome stream), so one simulation with all K machines live yields
- * every k-entry configuration: the k-entry design's mispredictions are
- * the baseline's, minus the savings of the first k machines.
+ * Assemble a custom curve from one transposed replay's counts. Custom
+ * entries are independent of the BTB and of each other (they only read
+ * the global outcome stream), so per-machine replays yield every
+ * k-entry configuration: the k-entry design's mispredictions are the
+ * baseline's, minus the savings of the first k machines.
  */
 AreaMissSeries
-customCurve(const std::vector<TrainedBranch> &trained,
-            const BranchTrace &trace, const BtbConfig &btb_config,
-            const std::string &label, const AreaCosts &costs)
+customSeries(const std::vector<TrainedBranch> &trained,
+             const CustomReplayCounts &counts, size_t trace_size,
+             const std::string &label, const AreaCosts &costs)
 {
-    XScaleBtb btb(btb_config, costs);
-    std::vector<PredictorFsm> machines;
-    std::unordered_map<uint64_t, size_t> machine_of;
-    machines.reserve(trained.size());
-    for (size_t i = 0; i < trained.size(); ++i) {
-        machines.emplace_back(trained[i].design.fsm);
-        machine_of.emplace(trained[i].pc, i);
-    }
-
-    uint64_t btb_misses_total = 0;
-    std::vector<uint64_t> btb_misses(trained.size(), 0);
-    std::vector<uint64_t> fsm_misses(trained.size(), 0);
-
-    for (const auto &record : trace) {
-        const bool btb_pred = btb.predict(record.pc);
-        const bool btb_wrong = btb_pred != record.taken;
-        btb_misses_total += btb_wrong;
-
-        const auto it = machine_of.find(record.pc);
-        if (it != machine_of.end()) {
-            btb_misses[it->second] += btb_wrong;
-            const bool fsm_pred =
-                machines[it->second].predict() != 0;
-            fsm_misses[it->second] += fsm_pred != record.taken;
-        }
-
-        btb.update(record.pc, record.taken);
-        for (auto &machine : machines)
-            machine.update(record.taken ? 1 : 0);
-    }
-    publishBtbMetrics(btb);
-
-    const double total =
-        static_cast<double>(trace.size() ? trace.size() : 1);
+    const double total = static_cast<double>(trace_size ? trace_size : 1);
     const CustomEntryConfig entry_config;
 
     AreaMissSeries series;
     series.label = label;
-    double area = btb.area();
-    uint64_t misses = btb_misses_total;
+    double area = counts.btbArea;
+    uint64_t misses = counts.btbMissesTotal;
     for (size_t k = 0; k < trained.size(); ++k) {
         // Adding machine k replaces the BTB's prediction for its branch.
-        misses -= btb_misses[k];
-        misses += fsm_misses[k];
+        misses -= counts.btbMisses[k];
+        misses += counts.fsmMisses[k];
+        // trained[k].fsmArea holds the training-time synthesis estimate
+        // (default AreaCosts, which is what this experiment uses too).
         area += entry_config.tagBits * costs.camBit +
             entry_config.targetBits * costs.sramBit +
-            estimateFsmArea(trained[k].design.fsm, costs).area;
+            trained[k].fsmArea.area;
         series.points.push_back(
             {area, static_cast<double>(misses) / total,
              std::to_string(k + 1) + " fsm"});
@@ -87,57 +54,183 @@ customCurve(const std::vector<TrainedBranch> &trained,
 } // anonymous namespace
 
 Fig5Benchmark
-runFigure5(const std::string &benchmark, const Fig5Options &options)
+evaluateFigure5(const std::string &benchmark, const BranchTrace &train,
+                const BranchTrace &test,
+                const std::vector<TrainedBranch> &trained,
+                const Fig5Options &options)
+{
+    const PackedTrace packed_train(train);
+    const PackedTrace packed_test(test);
+    return evaluateFigure5(benchmark, packed_train, packed_test, trained,
+                           options);
+}
+
+Fig5Benchmark
+evaluateFigure5(const std::string &benchmark,
+                const PackedTrace &packed_train,
+                const PackedTrace &packed_test,
+                const std::vector<TrainedBranch> &trained,
+                const Fig5Options &options,
+                const BaselineBtbProfile *train_profile)
 {
     const AreaCosts costs;
     Fig5Benchmark result;
     result.name = benchmark;
+    result.trained = trained;
 
-    const BranchTrace train = makeBranchTrace(
+    const size_t num_gshare = options.gshareLog2.size();
+    const size_t num_lgc = options.lgcLog2.size();
+    result.gshare.label = "gshare";
+    result.gshare.points.resize(num_gshare);
+    result.lgc.label = "lgc";
+    result.lgc.points.resize(num_lgc);
+
+    auto gshare_config = [&](size_t i) {
+        GshareConfig config;
+        config.log2Entries = options.gshareLog2[i];
+        config.historyBits = std::min(options.gshareLog2[i], 16);
+        return config;
+    };
+    auto lgc_config = [&](size_t i) {
+        LgcConfig config;
+        config.log2Entries = options.lgcLog2[i];
+        return config;
+    };
+
+    const unsigned sweep_threads = options.sweepThreads
+        ? options.sweepThreads
+        : ThreadPool::defaultThreadCount();
+
+    std::vector<CustomSweepMachine> machines;
+    machines.reserve(trained.size());
+    for (const auto &branch : trained)
+        machines.push_back({branch.pc, &branch.design.fsm});
+
+    // The custom-diff baseline and the XScale sweep point are the same
+    // BTB config chained over the same test trace, so one replay serves
+    // both: the point is read off the counts, and the run/BTB telemetry
+    // the dedicated point simulation would have published is exported
+    // from the same tallies.
+    const CustomReplayCounts diff_counts =
+        replayCustomMachines(machines, packed_test,
+                             options.training.baseline, costs,
+                             sweep_threads);
+    {
+        BpredSimResult r;
+        r.branches = packed_test.size();
+        r.mispredicts = diff_counts.btbMissesTotal;
+        publishBpredRun(diff_counts.btbName, r);
+        publishBtbMetrics(diff_counts.btbName, diff_counts.btbLookups,
+                          diff_counts.btbHits);
+        result.xscale = {diff_counts.btbArea, r.missRate(),
+                         diff_counts.btbName};
+    }
+
+    if (sweep_threads <= 1) {
+        // Serial: one trace pass per predictor *kind* - every gshare
+        // size side by side, then every LGC size - so the packed trace
+        // streams through cache once per family instead of once per
+        // point.
+        {
+            SweepPointTimer timer;
+            std::vector<GshareKernel> predictors;
+            predictors.reserve(num_gshare);
+            for (size_t i = 0; i < num_gshare; ++i)
+                predictors.emplace_back(gshare_config(i), costs);
+            const std::vector<BpredSimResult> rs =
+                sweepKernelBatch(predictors, packed_test);
+            for (size_t i = 0; i < num_gshare; ++i)
+                result.gshare.points[i] = {predictors[i].area(),
+                                           rs[i].missRate(),
+                                           predictors[i].name()};
+        }
+        {
+            SweepPointTimer timer;
+            std::vector<LgcKernel> predictors;
+            predictors.reserve(num_lgc);
+            for (size_t i = 0; i < num_lgc; ++i)
+                predictors.emplace_back(lgc_config(i), costs);
+            const std::vector<BpredSimResult> rs =
+                sweepKernelBatch(predictors, packed_test);
+            for (size_t i = 0; i < num_lgc; ++i)
+                result.lgc.points[i] = {predictors[i].area(),
+                                        rs[i].missRate(),
+                                        predictors[i].name()};
+        }
+    } else {
+        // Parallel: every sweep point is an independent predictor over
+        // a shared read-only trace; fan them all out at once.
+        parallelFor(
+            num_gshare + num_lgc,
+            [&](size_t t) {
+                SweepPointTimer timer;
+                if (t < num_gshare) {
+                    GshareKernel predictor(gshare_config(t), costs);
+                    const BpredSimResult r =
+                        sweepKernel(predictor, packed_test);
+                    result.gshare.points[t] = {predictor.area(),
+                                               r.missRate(),
+                                               predictor.name()};
+                } else {
+                    LgcKernel predictor(lgc_config(t - num_gshare),
+                                        costs);
+                    const BpredSimResult r =
+                        sweepKernel(predictor, packed_test);
+                    result.lgc.points[t - num_gshare] = {
+                        predictor.area(), r.missRate(), predictor.name()};
+                }
+            },
+            sweep_threads);
+    }
+
+    // Custom curves: machines were trained on the Train input only. The
+    // training pass already simulated the baseline over the train trace
+    // and recorded each branch's positions, so when the caller hands
+    // that profile over, the custom-same replay skips its BTB pass.
+    CustomReplayCounts same_counts;
+    if (train_profile && train_profile->valid) {
+        CustomBaselineProfile baseline;
+        baseline.btbMissesTotal = train_profile->mispredicts;
+        baseline.btbLookups = train_profile->lookups;
+        baseline.btbHits = train_profile->hits;
+        baseline.btbArea = train_profile->area;
+        baseline.btbName = train_profile->name;
+        baseline.btbMisses.reserve(trained.size());
+        baseline.positions.reserve(trained.size());
+        for (const auto &branch : trained) {
+            baseline.btbMisses.push_back(branch.baselineMisses);
+            baseline.positions.push_back(&branch.trainPositions);
+        }
+        same_counts = replayCustomMachines(machines, packed_train,
+                                           baseline, sweep_threads);
+    } else {
+        same_counts = replayCustomMachines(machines, packed_train,
+                                           options.training.baseline,
+                                           costs, sweep_threads);
+    }
+    result.customSame = customSeries(trained, same_counts,
+                                     packed_train.size(), "custom-same",
+                                     costs);
+    result.customDiff = customSeries(trained, diff_counts,
+                                     packed_test.size(), "custom-diff",
+                                     costs);
+    return result;
+}
+
+Fig5Benchmark
+runFigure5(const std::string &benchmark, const Fig5Options &options)
+{
+    const std::shared_ptr<const BranchTrace> train = cachedBranchTrace(
         benchmark, WorkloadInput::Train, options.branchesPerRun);
-    const BranchTrace test = makeBranchTrace(
+    const std::shared_ptr<const BranchTrace> test = cachedBranchTrace(
         benchmark, WorkloadInput::Test, options.branchesPerRun);
 
-    // Baseline XScale point (reported on the test input).
-    {
-        XScaleBtb btb(options.training.baseline, costs);
-        const BpredSimResult r = simulateBranchPredictor(btb, test);
-        publishBtbMetrics(btb);
-        result.xscale = {btb.area(), r.missRate(), btb.name()};
-    }
-
-    // gshare size sweep.
-    result.gshare.label = "gshare";
-    for (int log2 : options.gshareLog2) {
-        GshareConfig config;
-        config.log2Entries = log2;
-        config.historyBits = std::min(log2, 16);
-        Gshare predictor(config, costs);
-        const BpredSimResult r = simulateBranchPredictor(predictor, test);
-        result.gshare.points.push_back(
-            {predictor.area(), r.missRate(), predictor.name()});
-    }
-
-    // LGC size sweep.
-    result.lgc.label = "lgc";
-    for (int log2 : options.lgcLog2) {
-        LgcConfig config;
-        config.log2Entries = log2;
-        LocalGlobalChooser predictor(config, costs);
-        const BpredSimResult r = simulateBranchPredictor(predictor, test);
-        result.lgc.points.push_back(
-            {predictor.area(), r.missRate(), predictor.name()});
-    }
-
-    // Custom curves: train on the Train input only.
-    result.trained = trainCustomPredictors(train, options.training);
-    result.customSame = customCurve(result.trained, train,
-                                    options.training.baseline,
-                                    "custom-same", costs);
-    result.customDiff = customCurve(result.trained, test,
-                                    options.training.baseline,
-                                    "custom-diff", costs);
-    return result;
+    BaselineBtbProfile profile;
+    const std::vector<TrainedBranch> trained =
+        trainCustomPredictors(*train, options.training, &profile);
+    return evaluateFigure5(benchmark, *cachedPackedTrace(train),
+                           *cachedPackedTrace(test), trained, options,
+                           &profile);
 }
 
 std::vector<Fig5Benchmark>
@@ -145,10 +238,12 @@ runFigure5All(const Fig5Options &options)
 {
     const std::vector<std::string> names = branchBenchmarkNames();
     std::vector<Fig5Benchmark> all(names.size());
-    // One benchmark per task; the per-branch design fan-out inside each
-    // benchmark stays serial to avoid nested oversubscription.
+    // One benchmark per task; the per-branch design fan-out and the
+    // sweep inside each benchmark stay serial to avoid nested
+    // oversubscription.
     Fig5Options per_benchmark = options;
     per_benchmark.training.threads = 1;
+    per_benchmark.sweepThreads = 1;
     parallelFor(
         names.size(),
         [&](size_t i) { all[i] = runFigure5(names[i], per_benchmark); },

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bpred/trainer.hh"
+#include "sim/packed_trace.hh"
 
 namespace autofsm
 {
@@ -61,6 +62,13 @@ struct Fig5Options
      * and collected in name order, so output is thread-count invariant.
      */
     unsigned threads = 0;
+    /**
+     * Worker threads for the intra-benchmark sweep (independent sweep
+     * points and custom-machine replays; 0 = one per hardware core).
+     * Results are bit-identical for any value. runFigure5All pins this
+     * to 1 so benchmark- and sweep-level parallelism don't multiply.
+     */
+    unsigned sweepThreads = 0;
 };
 
 /**
@@ -71,6 +79,38 @@ struct Fig5Options
  */
 Fig5Benchmark runFigure5(const std::string &benchmark,
                          const Fig5Options &options = {});
+
+/**
+ * Evaluation half of runFigure5 (everything but trace acquisition and
+ * FSM training): replay the sweep and the custom curves for already-
+ * trained machines over the given traces via the sweep engine
+ * (sim/sweep.hh). Exposed so benches can time the sweep in isolation;
+ * `result.trained` is copied from @p trained.
+ */
+Fig5Benchmark evaluateFigure5(const std::string &benchmark,
+                              const BranchTrace &train,
+                              const BranchTrace &test,
+                              const std::vector<TrainedBranch> &trained,
+                              const Fig5Options &options = {});
+
+/**
+ * Same evaluation over already-packed traces (sim/packed_trace.hh), for
+ * callers that share packings across experiments via cachedPackedTrace.
+ * The BranchTrace overload packs and delegates here.
+ *
+ * When @p train_profile carries a valid baseline profile of
+ * @p packed_train (from trainCustomPredictors over the same trace and
+ * BTB config), the custom-same curve reuses the training pass's tallies
+ * and branch positions instead of re-simulating the baseline BTB; the
+ * output is bit-identical either way.
+ */
+Fig5Benchmark evaluateFigure5(const std::string &benchmark,
+                              const PackedTrace &packed_train,
+                              const PackedTrace &packed_test,
+                              const std::vector<TrainedBranch> &trained,
+                              const Fig5Options &options = {},
+                              const BaselineBtbProfile *train_profile =
+                                  nullptr);
 
 /** Run all six benchmarks. */
 std::vector<Fig5Benchmark> runFigure5All(const Fig5Options &options = {});

@@ -1,0 +1,87 @@
+#include "sim/packed_trace.hh"
+
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace autofsm
+{
+
+PackedTrace::PackedTrace(const BranchTrace &trace)
+{
+    const size_t n = trace.size();
+    pcs_.resize(n);
+    taken_.assign((n + 63) / 64, 0);
+    for (size_t i = 0; i < n; ++i) {
+        pcs_[i] = trace[i].pc;
+        if (trace[i].taken)
+            taken_[i >> 6] |= 1ULL << (i & 63);
+    }
+}
+
+namespace
+{
+
+using PackedPtr = std::shared_ptr<const PackedTrace>;
+
+struct PackCache
+{
+    struct Entry
+    {
+        /** Pins the source so the pointer key cannot be recycled. */
+        std::shared_ptr<const BranchTrace> trace;
+        std::shared_future<PackedPtr> packed;
+    };
+
+    std::mutex mutex;
+    std::unordered_map<const BranchTrace *, Entry> entries;
+};
+
+PackCache &
+packCache()
+{
+    static PackCache instance;
+    return instance;
+}
+
+} // anonymous namespace
+
+std::shared_ptr<const PackedTrace>
+cachedPackedTrace(const std::shared_ptr<const BranchTrace> &trace)
+{
+    PackCache &c = packCache();
+
+    std::shared_future<PackedPtr> future;
+    std::promise<PackedPtr> promise;
+    bool creator = false;
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        const auto it = c.entries.find(trace.get());
+        if (it != c.entries.end()) {
+            future = it->second.packed;
+        } else {
+            future = promise.get_future().share();
+            c.entries.emplace(trace.get(), PackCache::Entry{trace, future});
+            creator = true;
+        }
+    }
+
+    if (creator) {
+        // Packing is pure, so build outside the lock; concurrent
+        // callers for the same trace wait on the future instead of
+        // packing again.
+        promise.set_value(std::make_shared<const PackedTrace>(*trace));
+    }
+    return future.get();
+}
+
+void
+clearPackedTraceCache()
+{
+    PackCache &c = packCache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.entries.clear();
+}
+
+} // namespace autofsm

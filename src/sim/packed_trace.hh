@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structure-of-arrays form of a BranchTrace for sweep simulation.
+ *
+ * The AoS BranchTrace (16 bytes per record after padding) is what the
+ * workload models produce and what single-run tooling consumes; the
+ * sweep engine replays the same trace many times (once per sweep point,
+ * once per custom machine), so it converts once to a packed layout:
+ * a contiguous pc array plus outcomes packed 64 per machine word. A
+ * full 400k-branch trace shrinks from ~6.4 MB to ~3.3 MB and the
+ * outcome stream alone - all a custom FSM replay needs - to ~50 KB.
+ */
+
+#ifndef AUTOFSM_SIM_PACKED_TRACE_HH
+#define AUTOFSM_SIM_PACKED_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/branch_trace.hh"
+
+namespace autofsm
+{
+
+/** Immutable SoA view of one dynamic branch trace. */
+class PackedTrace
+{
+  public:
+    PackedTrace() = default;
+    explicit PackedTrace(const BranchTrace &trace);
+
+    size_t size() const { return pcs_.size(); }
+    bool empty() const { return pcs_.empty(); }
+
+    uint64_t pc(size_t i) const { return pcs_[i]; }
+
+    /** Outcome of record @p i (true = taken). */
+    bool
+    taken(size_t i) const
+    {
+        return (taken_[i >> 6] >> (i & 63)) & 1ULL;
+    }
+
+    /** The contiguous pc array (size() entries). */
+    const std::vector<uint64_t> &pcs() const { return pcs_; }
+
+    /**
+     * The outcome bitvector: bit (i & 63) of word (i >> 6) is record
+     * i's direction. Trailing bits of the last word are zero.
+     */
+    const std::vector<uint64_t> &takenWords() const { return taken_; }
+
+  private:
+    std::vector<uint64_t> pcs_;
+    std::vector<uint64_t> taken_;
+};
+
+/**
+ * Process-wide memo of packed conversions, keyed by trace identity. The
+ * returned packing of @p trace is shared by every caller holding the
+ * same underlying BranchTrace (in practice: traces handed out by
+ * cachedBranchTrace), so a trace replayed by many experiments in one
+ * process is converted once. Entries pin their source trace, which
+ * keeps the pointer key unambiguous for the life of the cache.
+ * Thread-safe; concurrent callers for one trace share a single build.
+ */
+std::shared_ptr<const PackedTrace>
+cachedPackedTrace(const std::shared_ptr<const BranchTrace> &trace);
+
+/** Drop every memoized packing (and the trace pins). */
+void clearPackedTraceCache();
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SIM_PACKED_TRACE_HH

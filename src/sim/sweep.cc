@@ -1,0 +1,311 @@
+#include "sim/sweep.hh"
+
+#include "obs/metrics.hh"
+#include "support/thread_pool.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+obs::Histogram &
+sweepPointHistogram()
+{
+    static obs::Histogram histogram = obs::globalMetrics().histogram(
+        "autofsm_sweep_point_millis",
+        "Kernel time of one sweep point (one predictor replay or one "
+        "custom machine replay).",
+        obs::defaultLatencyBucketsMillis());
+    return histogram;
+}
+
+/**
+ * A trained FSM flattened for replay: Moore outputs plus a dense
+ * `next[2*state + outcome]` table. Machines small enough for 8-bit
+ * state ids (the common case by far; Figure 4 machines top out well
+ * below 256 states) additionally get a byte-composition table:
+ * `chunk[c * states + s]` is the state reached from s after applying
+ * the 8 outcomes of byte c LSB-first, letting the replay consume the
+ * outcome bitstream a byte at a time between predictions.
+ */
+struct FlatFsm
+{
+    explicit FlatFsm(const Dfa &dfa)
+        : states(dfa.numStates()), start(dfa.start())
+    {
+        out.resize(static_cast<size_t>(states));
+        for (int s = 0; s < states; ++s)
+            out[static_cast<size_t>(s)] =
+                static_cast<uint8_t>(dfa.output(s) ? 1 : 0);
+
+        if (states <= 256) {
+            next8.resize(static_cast<size_t>(states) * 2);
+            for (int s = 0; s < states; ++s) {
+                next8[static_cast<size_t>(s) * 2 + 0] =
+                    static_cast<uint8_t>(dfa.next(s, 0));
+                next8[static_cast<size_t>(s) * 2 + 1] =
+                    static_cast<uint8_t>(dfa.next(s, 1));
+            }
+        } else {
+            nextWide.resize(static_cast<size_t>(states) * 2);
+            for (int s = 0; s < states; ++s) {
+                nextWide[static_cast<size_t>(s) * 2 + 0] = dfa.next(s, 0);
+                nextWide[static_cast<size_t>(s) * 2 + 1] = dfa.next(s, 1);
+            }
+        }
+
+        // The composition table costs 2048*states steps to build and
+        // 256*states bytes to hold; only worth it (and L1-resident)
+        // for small machines.
+        if (states <= 64) {
+            chunk.resize(256 * static_cast<size_t>(states));
+            for (unsigned c = 0; c < 256; ++c) {
+                for (int s = 0; s < states; ++s) {
+                    uint32_t state = static_cast<uint32_t>(s);
+                    for (int bit = 0; bit < 8; ++bit)
+                        state = next8[state * 2 + ((c >> bit) & 1)];
+                    chunk[c * static_cast<size_t>(states) +
+                          static_cast<size_t>(s)] =
+                        static_cast<uint8_t>(state);
+                }
+            }
+        }
+
+        // The 4-outcome table is 16x cheaper to build and at most 4 KiB,
+        // so every byte-indexable machine gets one; it both serves
+        // machines too big for the byte table and mops up the sub-byte
+        // gaps between predictions for machines that have it.
+        if (states <= 256) {
+            nibble.resize(16 * static_cast<size_t>(states));
+            for (unsigned c = 0; c < 16; ++c) {
+                for (int s = 0; s < states; ++s) {
+                    uint32_t state = static_cast<uint32_t>(s);
+                    for (int bit = 0; bit < 4; ++bit)
+                        state = next8[state * 2 + ((c >> bit) & 1)];
+                    nibble[c * static_cast<size_t>(states) +
+                           static_cast<size_t>(s)] =
+                        static_cast<uint8_t>(state);
+                }
+            }
+        }
+    }
+
+    int states;
+    int start;
+    std::vector<uint8_t> out;
+    std::vector<uint8_t> next8;  ///< states <= 256
+    std::vector<int> nextWide;   ///< states > 256
+    std::vector<uint8_t> chunk;  ///< 8-outcome composition (states <= 64)
+    std::vector<uint8_t> nibble; ///< 4-outcome composition (states <= 256)
+};
+
+/**
+ * Replay one machine over the outcome bitstream: predict (and count a
+ * miss) at each of its branch's positions, step on every outcome. The
+ * next-state table is indexed through @p next so the narrow and wide
+ * layouts share one loop.
+ */
+template <typename NextTable>
+uint64_t
+replayStream(const FlatFsm &fsm, const NextTable &next,
+             const uint64_t *words, size_t n,
+             const std::vector<uint32_t> &positions)
+{
+    uint64_t misses = 0;
+    uint32_t state = static_cast<uint32_t>(fsm.start);
+    const bool chunked = !fsm.chunk.empty();
+    const bool nibbled = !fsm.nibble.empty();
+    const size_t states = static_cast<size_t>(fsm.states);
+    size_t p = 0;
+    const size_t npos = positions.size();
+    size_t i = 0;
+    while (i < n) {
+        const size_t next_match = p < npos ? positions[p] : n;
+        if (chunked && (i & 7) == 0 && i + 8 <= n && next_match >= i + 8) {
+            const uint8_t c = static_cast<uint8_t>(
+                (words[i >> 6] >> (i & 63)) & 0xff);
+            state = fsm.chunk[static_cast<size_t>(c) * states + state];
+            i += 8;
+            continue;
+        }
+        if (nibbled && (i & 3) == 0 && i + 4 <= n && next_match >= i + 4) {
+            const uint8_t c = static_cast<uint8_t>(
+                (words[i >> 6] >> (i & 63)) & 0xf);
+            state = fsm.nibble[static_cast<size_t>(c) * states + state];
+            i += 4;
+            continue;
+        }
+        const uint8_t bit = static_cast<uint8_t>(
+            (words[i >> 6] >> (i & 63)) & 1ULL);
+        if (i == next_match) {
+            misses += static_cast<uint64_t>(fsm.out[state] != bit);
+            ++p;
+        }
+        state = static_cast<uint32_t>(next[state * 2 + bit]);
+        ++i;
+    }
+    return misses;
+}
+
+uint64_t
+replayOne(const FlatFsm &fsm, const uint64_t *words, size_t n,
+          const std::vector<uint32_t> &positions)
+{
+    if (!fsm.next8.empty())
+        return replayStream(fsm, fsm.next8, words, n, positions);
+    return replayStream(fsm, fsm.nextWide, words, n, positions);
+}
+
+} // anonymous namespace
+
+void
+BtbKernel::publishMetrics() const
+{
+    publishBtbMetrics(name(), lookups_, hits_);
+}
+
+void
+observeSweepPointMillis(double millis)
+{
+    if (!obs::globalMetrics().enabled())
+        return;
+    sweepPointHistogram().observe(millis);
+}
+
+SweepPointTimer::SweepPointTimer()
+{
+    if (obs::globalMetrics().enabled()) {
+        active_ = true;
+        start_ = std::chrono::steady_clock::now();
+    }
+}
+
+SweepPointTimer::~SweepPointTimer()
+{
+    if (!active_)
+        return;
+    observeSweepPointMillis(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+}
+
+CustomReplayCounts
+replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
+                     const PackedTrace &trace, const BtbConfig &btb_config,
+                     const AreaCosts &costs, unsigned threads)
+{
+    CustomReplayCounts counts;
+    const size_t k = machines.size();
+    counts.btbMisses.assign(k, 0);
+    counts.fsmMisses.assign(k, 0);
+
+    BtbKernel btb(btb_config, costs);
+    counts.btbArea = btb.area();
+    counts.btbName = btb.name();
+
+    // The machine set is tiny (a dozen worst branches), so pc -> machine
+    // resolution uses a flat power-of-two probe table instead of an
+    // unordered_map: one multiply-hash and usually one (empty) slot read
+    // per record, no bucket pointer chase.
+    size_t slots = 16;
+    while (slots < k * 4)
+        slots *= 2;
+    const size_t slot_mask = slots - 1;
+    std::vector<uint64_t> slot_pc(slots, 0);
+    std::vector<int32_t> slot_machine(slots, -1);
+    const auto slotOf = [slot_mask](uint64_t pc) {
+        return static_cast<size_t>(((pc >> 2) * 0x9e3779b97f4a7c15ULL) &
+                                   slot_mask);
+    };
+    for (size_t m = 0; m < k; ++m) {
+        size_t s = slotOf(machines[m].pc);
+        while (slot_machine[s] >= 0)
+            s = (s + 1) & slot_mask;
+        slot_pc[s] = machines[m].pc;
+        slot_machine[s] = static_cast<int32_t>(m);
+    }
+
+    // Baseline pass: the BTB is one stateful chain, so this stays
+    // serial; it doubles as the collection pass for each machine's
+    // branch positions so the parallel replays need no pc lookups.
+    std::vector<std::vector<uint32_t>> positions(k);
+    const size_t n = trace.size();
+    const uint64_t *pcs = trace.pcs().data();
+    const uint64_t *words = trace.takenWords().data();
+    {
+        SweepPointTimer timer;
+        for (size_t i = 0; i < n; ++i) {
+            const bool taken = (words[i >> 6] >> (i & 63)) & 1ULL;
+            if (i + detail::kPrefetchDistance < n)
+                btb.prefetch(pcs[i + detail::kPrefetchDistance]);
+            const bool wrong = btb.step(pcs[i], taken);
+            counts.btbMissesTotal += static_cast<uint64_t>(wrong);
+            for (size_t s = slotOf(pcs[i]); slot_machine[s] >= 0;
+                 s = (s + 1) & slot_mask) {
+                if (slot_pc[s] != pcs[i])
+                    continue;
+                const auto m = static_cast<size_t>(slot_machine[s]);
+                counts.btbMisses[m] += static_cast<uint64_t>(wrong);
+                positions[m].push_back(static_cast<uint32_t>(i));
+                break;
+            }
+        }
+    }
+    btb.publishMetrics();
+    counts.btbLookups = btb.lookups();
+    counts.btbHits = btb.hits();
+
+    parallelFor(
+        k,
+        [&](size_t m) {
+            SweepPointTimer timer;
+            const FlatFsm flat(*machines[m].fsm);
+            counts.fsmMisses[m] = replayOne(flat, words, n, positions[m]);
+        },
+        threads);
+
+    return counts;
+}
+
+CustomReplayCounts
+replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
+                     const PackedTrace &trace,
+                     const CustomBaselineProfile &baseline, unsigned threads)
+{
+    CustomReplayCounts counts;
+    const size_t k = machines.size();
+    counts.btbMissesTotal = baseline.btbMissesTotal;
+    counts.btbMisses = baseline.btbMisses;
+    counts.btbMisses.resize(k, 0);
+    counts.fsmMisses.assign(k, 0);
+    counts.btbArea = baseline.btbArea;
+    counts.btbName = baseline.btbName;
+    counts.btbLookups = baseline.btbLookups;
+    counts.btbHits = baseline.btbHits;
+    // Telemetry parity with the pass-driven overload, which publishes
+    // its BTB tallies after the (here skipped) baseline chain.
+    publishBtbMetrics(baseline.btbName, baseline.btbLookups,
+                      baseline.btbHits);
+
+    const size_t n = trace.size();
+    const uint64_t *words = trace.takenWords().data();
+    static const std::vector<uint32_t> no_positions;
+    parallelFor(
+        k,
+        [&](size_t m) {
+            SweepPointTimer timer;
+            const FlatFsm flat(*machines[m].fsm);
+            const std::vector<uint32_t> *positions =
+                m < baseline.positions.size() && baseline.positions[m]
+                    ? baseline.positions[m]
+                    : &no_positions;
+            counts.fsmMisses[m] = replayOne(flat, words, n, *positions);
+        },
+        threads);
+
+    return counts;
+}
+
+} // namespace autofsm

@@ -1,0 +1,140 @@
+#include "workloads/trace_cache.hh"
+
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+using TracePtr = std::shared_ptr<const BranchTrace>;
+
+struct TraceCache
+{
+    std::mutex mutex;
+    /** Futures, not values: a key's first caller installs the future,
+     *  builds outside the lock, and fulfills it; concurrent callers of
+     *  the same key wait instead of rebuilding. */
+    std::unordered_map<std::string, std::shared_future<TracePtr>> entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+TraceCache &
+cache()
+{
+    static TraceCache instance;
+    return instance;
+}
+
+void
+publishCacheCounters(bool hit)
+{
+    obs::MetricsRegistry &registry = obs::globalMetrics();
+    if (!registry.enabled())
+        return;
+    if (hit) {
+        registry
+            .counter("autofsm_trace_cache_hits_total",
+                     "cachedBranchTrace calls served from the cache.")
+            .inc();
+    } else {
+        registry
+            .counter("autofsm_trace_cache_misses_total",
+                     "cachedBranchTrace calls that built a new trace.")
+            .inc();
+    }
+}
+
+std::string
+cacheKey(const std::string &name, WorkloadInput input,
+         size_t approx_branches)
+{
+    return name + '\x1f' +
+        std::to_string(static_cast<int>(input)) + '\x1f' +
+        std::to_string(approx_branches);
+}
+
+} // anonymous namespace
+
+std::shared_ptr<const BranchTrace>
+cachedBranchTrace(const std::string &name, WorkloadInput input,
+                  size_t approx_branches)
+{
+    TraceCache &c = cache();
+    const std::string key = cacheKey(name, input, approx_branches);
+
+    std::shared_future<TracePtr> future;
+    std::promise<TracePtr> promise;
+    bool creator = false;
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        const auto it = c.entries.find(key);
+        if (it != c.entries.end()) {
+            future = it->second;
+            ++c.hits;
+        } else {
+            future = promise.get_future().share();
+            c.entries.emplace(key, future);
+            creator = true;
+            ++c.misses;
+        }
+    }
+    publishCacheCounters(!creator);
+
+    if (creator) {
+        try {
+            promise.set_value(std::make_shared<const BranchTrace>(
+                makeBranchTrace(name, input, approx_branches)));
+        } catch (...) {
+            // Don't cache the failure: waiters see the exception, but
+            // later callers get a fresh attempt.
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(c.mutex);
+            c.entries.erase(key);
+        }
+    }
+    return future.get();
+}
+
+BranchTraceCacheStats
+branchTraceCacheStats()
+{
+    TraceCache &c = cache();
+    BranchTraceCacheStats stats;
+    std::lock_guard<std::mutex> lock(c.mutex);
+    stats.hits = c.hits;
+    stats.misses = c.misses;
+    stats.entries = c.entries.size();
+    for (const auto &[key, future] : c.entries) {
+        if (future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            // Completed builds only; in-flight entries count as zero.
+            try {
+                stats.cachedBranches += future.get()->size();
+            } catch (...) {
+                // A failing entry is being erased by its creator.
+            }
+        }
+    }
+    return stats;
+}
+
+void
+clearBranchTraceCache()
+{
+    TraceCache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.entries.clear();
+    c.hits = 0;
+    c.misses = 0;
+}
+
+} // namespace autofsm

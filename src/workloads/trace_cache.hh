@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Process-wide memoizing cache over makeBranchTrace.
+ *
+ * makeBranchTrace is deterministic in its (benchmark, input,
+ * approx_branches) triple, yet the seed code regenerated the same
+ * trace in figure4, figure5, the trainer example and every bench.
+ * cachedBranchTrace builds each distinct trace exactly once per
+ * process and hands out shared ownership of the immutable result.
+ *
+ * Thread-safe: concurrent callers of the same key block on one build
+ * (the first caller constructs, the rest wait on a shared future), so
+ * a parallel benchmark fan-out never duplicates work. Hits and misses
+ * are exported as autofsm_trace_cache_{hits,misses}_total.
+ */
+
+#ifndef AUTOFSM_WORKLOADS_TRACE_CACHE_HH
+#define AUTOFSM_WORKLOADS_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workloads/branch_workloads.hh"
+
+namespace autofsm
+{
+
+/** Point-in-time tallies of the process-wide trace cache. */
+struct BranchTraceCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+    /** Total dynamic branches held across cached traces. */
+    uint64_t cachedBranches = 0;
+};
+
+/**
+ * The memoized equivalent of makeBranchTrace. The returned trace is
+ * shared and immutable; callers must not cast away constness. Throws
+ * whatever makeBranchTrace throws (and does not cache the failure).
+ */
+std::shared_ptr<const BranchTrace>
+cachedBranchTrace(const std::string &name, WorkloadInput input,
+                  size_t approx_branches = 500000);
+
+/** Current cache tallies (process-wide, monotone hit/miss counts). */
+BranchTraceCacheStats branchTraceCacheStats();
+
+/**
+ * Drop every cached trace (outstanding shared_ptrs stay valid) and
+ * zero the stats. For tests; production code never needs it.
+ */
+void clearBranchTraceCache();
+
+} // namespace autofsm
+
+#endif // AUTOFSM_WORKLOADS_TRACE_CACHE_HH
