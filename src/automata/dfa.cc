@@ -6,7 +6,10 @@
 #include <deque>
 #include <set>
 #include <sstream>
+#include <string>
 #include <unordered_map>
+
+#include "flow/budget.hh"
 
 namespace autofsm
 {
@@ -347,13 +350,21 @@ struct SubsetHash
 } // anonymous namespace
 
 Dfa
-Dfa::fromNfa(const Nfa &nfa)
+Dfa::fromNfa(const Nfa &nfa, int max_states)
 {
     Dfa dfa;
     // DFA state numbering is fixed by the BFS discovery order below,
     // not by map iteration, so hashing keeps output bit-identical.
     std::unordered_map<std::vector<int>, int, SubsetHash> subset_ids;
     std::deque<std::vector<int>> queue;
+
+    auto checkBudget = [max_states, &dfa] {
+        if (max_states > 0 && dfa.numStates() > max_states) {
+            throw FlowError("subset", ErrorKind::BudgetExceeded,
+                            "subset construction minted more than " +
+                                std::to_string(max_states) + " states");
+        }
+    };
 
     auto accepting = [&nfa](const std::vector<int> &subset) {
         for (int s : subset) {
@@ -366,6 +377,7 @@ Dfa::fromNfa(const Nfa &nfa)
     const std::vector<int> start_subset = nfa.closure({nfa.start()});
     subset_ids[start_subset] = dfa.addState(accepting(start_subset) ? 1 : 0);
     queue.push_back(start_subset);
+    checkBudget();
 
     // A sink for subsets that die (cannot happen with the (0|1)* prefix
     // regexes, but hand-built NFAs may be partial).
@@ -396,6 +408,7 @@ Dfa::fromNfa(const Nfa &nfa)
                 const auto it = subset_ids.find(target);
                 if (it == subset_ids.end()) {
                     to = dfa.addState(accepting(target) ? 1 : 0);
+                    checkBudget();
                     subset_ids.emplace(target, to);
                     queue.push_back(target);
                 } else {
@@ -418,6 +431,22 @@ Dfa::constant(int output)
     dfa.setEdge(s, 0, s);
     dfa.setEdge(s, 1, s);
     dfa.setStart(s);
+    return dfa;
+}
+
+Dfa
+Dfa::saturatingCounter(int bits)
+{
+    assert(bits >= 1 && bits <= 8);
+    const int n = 1 << bits;
+    Dfa dfa;
+    for (int s = 0; s < n; ++s)
+        dfa.addState(s >= n / 2 ? 1 : 0);
+    for (int s = 0; s < n; ++s) {
+        dfa.setEdge(s, 0, std::max(s - 1, 0));
+        dfa.setEdge(s, 1, std::min(s + 1, n - 1));
+    }
+    dfa.setStart(n / 2 - 1);
     return dfa;
 }
 

@@ -90,14 +90,32 @@ class Dfa
     /** Graphviz DOT rendering; states labelled "sN [output]". */
     std::string toDot(const std::string &name = "fsm") const;
 
-    /** Subset construction over @p nfa; accepting subsets output 1. */
-    static Dfa fromNfa(const Nfa &nfa);
+    /**
+     * Subset construction over @p nfa; accepting subsets output 1.
+     *
+     * @param max_states Optional budget on the number of DFA states
+     *        minted (0 = unlimited). Subset construction is worst-case
+     *        exponential in NFA size, so the bound is checked inside
+     *        the construction loop; exceeding it raises a
+     *        FlowError{"subset", BudgetExceeded} (flow/budget.hh).
+     */
+    static Dfa fromNfa(const Nfa &nfa, int max_states = 0);
 
     /**
      * The trivial one-state machine with constant @p output, used when a
      * pattern set is empty (always predict 0 or always predict 1).
      */
     static Dfa constant(int output);
+
+    /**
+     * The classic 2^bits-state saturating up/down counter predictor
+     * (Smith, ISCA 1981): state s outputs 1 in the upper half, a taken
+     * outcome saturates up, a not-taken outcome saturates down. The
+     * design flow falls back to this machine when a custom FSM cannot
+     * be designed within budget. Start state: the weakly-not-taken
+     * state just below the prediction threshold.
+     */
+    static Dfa saturatingCounter(int bits = 2);
 
   private:
     std::vector<State> states_;

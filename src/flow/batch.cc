@@ -1,10 +1,13 @@
 #include "flow/batch.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 
+#include "flow/budget.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "support/failpoint.hh"
 #include "support/thread_pool.hh"
 
 namespace autofsm
@@ -30,6 +33,9 @@ struct BatchTelemetry
     obs::Counter designed;
     obs::Counter cacheHits;
     obs::Counter failures;
+    obs::Counter retries;
+    obs::Counter retrySuccesses;
+    obs::Counter degraded;
     obs::Histogram queueWait;
     obs::Histogram itemMillis;
 };
@@ -50,6 +56,15 @@ batchTelemetry()
             "Items served from the content-hash memo cache.");
         t.failures = registry.counter("autofsm_batch_failures_total",
                                       "Items whose design flow threw.");
+        t.retries = registry.counter(
+            "autofsm_batch_retries_total",
+            "Extra flow attempts consumed by the retry policy.");
+        t.retrySuccesses = registry.counter(
+            "autofsm_batch_retry_successes_total",
+            "Items that succeeded on a retry attempt.");
+        t.degraded = registry.counter(
+            "autofsm_batch_degraded_total",
+            "Items that completed via a degraded fallback path.");
         t.queueWait = registry.histogram(
             "autofsm_batch_queue_wait_millis",
             "Delay between batch start and an item starting to design.",
@@ -61,6 +76,39 @@ batchTelemetry()
         return t;
     }();
     return telemetry;
+}
+
+/**
+ * Classify a failed attempt: record error/errorKind on @p slot and
+ * decide whether the retry policy may try again.
+ */
+bool
+classifyFailure(BatchItemResult &slot, std::exception_ptr error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const FlowError &e) {
+        slot.error = e.what();
+        slot.errorKind = errorKindName(e.kind());
+        return errorKindRetryable(e.kind());
+    } catch (const InjectedFault &e) {
+        // Injected faults model transient infrastructure errors.
+        slot.error = e.what();
+        slot.errorKind = errorKindName(ErrorKind::Injected);
+        return true;
+    } catch (const std::invalid_argument &e) {
+        slot.error = e.what();
+        slot.errorKind = errorKindName(ErrorKind::InvalidInput);
+        return false;
+    } catch (const std::exception &e) {
+        slot.error = e.what();
+        slot.errorKind = errorKindName(ErrorKind::Internal);
+        return false;
+    } catch (...) {
+        slot.error = "unknown exception in design flow";
+        slot.errorKind = errorKindName(ErrorKind::Internal);
+        return false;
+    }
 }
 
 } // anonymous namespace
@@ -154,13 +202,46 @@ BatchDesigner::designAll(const std::vector<MarkovModel> &models)
                     std::chrono::steady_clock::now() - batch_start)
                     .count());
             BatchItemResult &slot = results[i];
-            try {
-                slot.flow = flow_.run(models[i]);
-                slot.ok = true;
-            } catch (const std::exception &e) {
-                slot.error = e.what();
-            } catch (...) {
-                slot.error = "unknown exception in design flow";
+            const int max_attempts = std::max(1, options_.retry.maxAttempts);
+            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+                slot.attempts = attempt;
+                try {
+                    AUTOFSM_FAILPOINT("batch.item");
+                    if (attempt == 1) {
+                        slot.flow = flow_.run(models[i]);
+                    } else {
+                        // Retries run under an escalated budget: each
+                        // retry multiplies finite limits again.
+                        FsmDesignOptions opts = flow_.options();
+                        double factor = 1.0;
+                        for (int r = 1; r < attempt; ++r)
+                            factor *= options_.retry.budgetEscalation;
+                        opts.budget = opts.budget.escalated(factor);
+                        slot.flow = DesignFlow(opts).run(models[i]);
+                    }
+                    slot.ok = true;
+                    slot.error.clear();
+                    slot.errorKind.clear();
+                    if (attempt > 1)
+                        batchTelemetry().retrySuccesses.inc();
+                    break;
+                } catch (...) {
+                    const bool retryable =
+                        classifyFailure(slot, std::current_exception());
+                    if (!retryable || attempt == max_attempts)
+                        break;
+                    batchTelemetry().retries.inc();
+                }
+            }
+            if (slot.ok && slot.flow.trace.degraded()) {
+                slot.degraded = true;
+                std::string joined;
+                for (const std::string &f : slot.flow.trace.fallbacks()) {
+                    if (!joined.empty())
+                        joined += ',';
+                    joined += f;
+                }
+                slot.fallback = std::move(joined);
             }
             batchTelemetry().itemMillis.observe(item_span.finishMillis());
         },
@@ -178,14 +259,19 @@ BatchDesigner::designAll(const std::vector<MarkovModel> &models)
     }
 
     stats_.designed = unique.size();
-    for (const auto &result : results)
+    for (const auto &result : results) {
         stats_.failures += !result.ok;
+        stats_.degraded += result.degraded;
+        if (!result.fromCache && result.attempts > 1)
+            stats_.retries += static_cast<size_t>(result.attempts) - 1;
+    }
 
     BatchTelemetry &telemetry = batchTelemetry();
     telemetry.items.inc(stats_.items);
     telemetry.designed.inc(stats_.designed);
     telemetry.cacheHits.inc(stats_.cacheHits);
     telemetry.failures.inc(stats_.failures);
+    telemetry.degraded.inc(stats_.degraded);
     return results;
 }
 

@@ -41,6 +41,24 @@ uint64_t markovContentHash(const MarkovModel &model);
 /** Exact content equality of two models. */
 bool markovEqual(const MarkovModel &a, const MarkovModel &b);
 
+/**
+ * Per-item retry policy of a batch run.
+ *
+ * A failing item is retried only when its error is *retryable*
+ * (`errorKindRetryable`): budget and deadline overruns — which a bigger
+ * budget can fix — and injected faults, which model transient
+ * infrastructure errors. Invalid input and internal failures are
+ * terminal and never retried. Each retry runs under the item's budget
+ * escalated by `budgetEscalation` (compounding per attempt).
+ */
+struct RetryPolicy
+{
+    /** Total attempts per item (1 = no retries). */
+    int maxAttempts = 1;
+    /** Finite budget limits are multiplied by this per retry. */
+    double budgetEscalation = 2.0;
+};
+
 /** Execution knobs of a batch run. */
 struct BatchOptions
 {
@@ -48,6 +66,8 @@ struct BatchOptions
     unsigned threads = 0;
     /** Design identical models only once (content-hash memo cache). */
     bool memoize = true;
+    /** Per-item retry policy (default: no retries). */
+    RetryPolicy retry;
 };
 
 /** Outcome of one batch item. */
@@ -57,8 +77,16 @@ struct BatchItemResult
     bool ok = false;
     /** True when the result was reused from an identical earlier item. */
     bool fromCache = false;
-    /** what() of the captured exception when !ok. */
+    /** True when the flow succeeded via a degraded fallback path. */
+    bool degraded = false;
+    /** Flow attempts consumed (1 unless the retry policy kicked in). */
+    int attempts = 1;
+    /** Comma-joined fallback chain when degraded ("minimize:exact"). */
+    std::string fallback;
+    /** what() of the captured exception when !ok (the last attempt's). */
     std::string error;
+    /** errorKindName of the failure when !ok and classifiable, "" else. */
+    std::string errorKind;
     /** Design artifacts and stage observations (valid when ok). */
     FlowResult flow;
 };
@@ -69,7 +97,9 @@ struct BatchStats
     size_t items = 0;     ///< batch size
     size_t designed = 0;  ///< flow executions actually run
     size_t cacheHits = 0; ///< items served from the memo cache
-    size_t failures = 0;  ///< items whose flow threw
+    size_t failures = 0;  ///< items whose flow threw terminally
+    size_t retries = 0;   ///< extra attempts consumed by the retry policy
+    size_t degraded = 0;  ///< items that succeeded via a fallback path
 };
 
 /** Parallel batch front end over DesignFlow. */

@@ -2,9 +2,11 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "support/failpoint.hh"
 #include "support/json.hh"
 
 namespace autofsm
@@ -52,6 +54,24 @@ flowTelemetry()
         return t;
     }();
     return telemetry;
+}
+
+/**
+ * Record a taken fallback path: in the run's FlowTrace (as
+ * "stage:kind") and in the process-wide fallback counter. Fallbacks are
+ * rare, so the per-call counter registration (a lookup under the
+ * registry mutex) is fine here.
+ */
+void
+recordFallback(FlowTrace &trace, const char *stage, const char *kind)
+{
+    trace.noteFallback(std::string(stage) + ':' + kind);
+    obs::globalMetrics()
+        .counter("autofsm_flow_fallbacks_total",
+                 "Degraded design-flow paths taken, by failing stage "
+                 "and fallback kind.",
+                 {{"stage", stage}, {"kind", kind}})
+        .inc();
 }
 
 /**
@@ -146,25 +166,97 @@ FlowResult
 DesignFlow::run(const MarkovModel &model) const
 {
     obs::SpanScope root(&obs::globalTracer(), "flow.run");
-    return runStages(model, FlowTrace());
+    const Deadline deadline(options_.budget.deadlineMillis);
+    return runStages(model, FlowTrace(), deadline);
 }
 
 FlowResult
 DesignFlow::runOnTrace(const std::vector<int> &trace) const
 {
     obs::SpanScope root(&obs::globalTracer(), "flow.run");
+    const Deadline deadline(options_.budget.deadlineMillis);
     obs::SpanScope span(&obs::globalTracer(), "flow.markov");
+    AUTOFSM_FAILPOINT("flow.markov");
     MarkovModel model(options_.order);
     model.train(trace);
     FlowTrace flow_trace;
     recordStage(flow_trace, FlowStage::Markov, span,
                 static_cast<int64_t>(model.distinctHistories()),
                 "histories");
-    return runStages(model, std::move(flow_trace));
+    return runStages(model, std::move(flow_trace), deadline);
+}
+
+/**
+ * The minimize-stage fallback ladder, entered after the configured
+ * engine failed or exceeded its budget: try exact Quine-McCluskey, and
+ * if that also fails (or the minterm budget rules it out too) settle
+ * for the unminimized minterm cover, which is exact and always
+ * constructible. Deadline expiry is not absorbed: a run that is out of
+ * wall-clock must fail fast, not keep minimizing.
+ */
+void
+DesignFlow::minimizeFallback(const TruthTable &table,
+                             const MinimizeLimits &limits,
+                             FsmDesignResult &result,
+                             FlowTrace &trace) const
+{
+    try {
+        result.cover = minimize(table, MinimizeAlgo::Exact, limits);
+        recordFallback(trace, "minimize", "exact");
+        return;
+    } catch (const FlowError &e) {
+        if (e.kind() == ErrorKind::DeadlineExceeded)
+            throw;
+    } catch (const std::exception &) {
+        // fall through to the unminimized cover
+    }
+    result.cover = unminimizedCover(table);
+    recordFallback(trace, "minimize", "unminimized");
+}
+
+/**
+ * The automata-half fallback: when the regex/subset/Hopcroft/reduce
+ * stages fail or blow the state budgets, the degraded — but always
+ * available — answer is the paper's baseline, the 2-bit saturating
+ * counter. Stage records are filled in for any stage that did not run
+ * so every FlowTrace keeps the same shape.
+ */
+void
+DesignFlow::automataFallback(FsmDesignResult &result,
+                             FlowTrace &trace) const
+{
+    const char *failed = "regex";
+    constexpr std::pair<FlowStage, const char *> kAutomataStages[] = {
+        {FlowStage::Regex, "terms"},
+        {FlowStage::Subset, "states"},
+        {FlowStage::Hopcroft, "states"},
+        {FlowStage::StartReduce, "states"},
+    };
+    for (const auto &[stage, metric] : kAutomataStages) {
+        if (trace.find(stage) == nullptr) {
+            failed = flowStageName(stage);
+            break;
+        }
+    }
+
+    const Dfa counter = Dfa::saturatingCounter(2);
+    result.beforeReduction = counter;
+    result.fsm = counter;
+    result.statesSubset = counter.numStates();
+    result.statesHopcroft = counter.numStates();
+    result.statesFinal = counter.numStates();
+    if (result.regexText.empty())
+        result.regexText = "(degraded)";
+    for (const auto &[stage, metric_name] : kAutomataStages) {
+        if (trace.find(stage) == nullptr)
+            trace.add(stage, 0.0, counter.numStates(), metric_name);
+    }
+    recordFallback(trace, failed, "saturating-counter");
 }
 
 FlowResult
-DesignFlow::runStages(const MarkovModel &model, FlowTrace trace) const
+DesignFlow::runStages(const MarkovModel &model, FlowTrace trace,
+                      const Deadline &deadline) const
 {
     if (model.order() != options_.order) {
         throw std::invalid_argument(
@@ -181,7 +273,9 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace) const
     FsmDesignResult &result = out.design;
 
     {
+        deadline.check("patterns");
         obs::SpanScope span(tracer, "flow.patterns");
+        AUTOFSM_FAILPOINT("flow.patterns");
         result.patterns = definePatterns(model, options_.patterns);
         recordStage(out.trace, FlowStage::Patterns, span,
                     static_cast<int64_t>(
@@ -191,9 +285,23 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace) const
     }
 
     {
+        deadline.check("minimize");
         obs::SpanScope span(tracer, "flow.minimize");
         const TruthTable table = result.patterns.toTruthTable();
-        result.cover = minimize(table, options_.minimizer);
+        MinimizeLimits limits;
+        limits.maxEspressoIterations =
+            options_.budget.maxEspressoIterations;
+        limits.maxMinterms = options_.budget.maxMinterms;
+        try {
+            AUTOFSM_FAILPOINT("flow.minimize");
+            result.cover = minimize(table, options_.minimizer, limits);
+        } catch (const FlowError &e) {
+            if (e.kind() == ErrorKind::DeadlineExceeded)
+                throw;
+            minimizeFallback(table, limits, result, out.trace);
+        } catch (const std::exception &) {
+            minimizeFallback(table, limits, result, out.trace);
+        }
         recordStage(out.trace, FlowStage::Minimize, span,
                     static_cast<int64_t>(result.cover.size()), "cubes");
     }
@@ -217,42 +325,71 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace) const
         return out;
     }
 
-    std::optional<Regex> regex;
-    {
-        obs::SpanScope span(tracer, "flow.regex");
-        regex = regexFromCover(result.cover);
-        result.regexText = regex->toString();
-        recordStage(out.trace, FlowStage::Regex, span,
-                    static_cast<int64_t>(result.cover.size()), "terms");
-    }
-
-    {
-        obs::SpanScope span(tracer, "flow.subset");
-        const Nfa nfa = Nfa::fromRegex(*regex);
-        result.beforeReduction = Dfa::fromNfa(nfa);
-        result.statesSubset = result.beforeReduction.numStates();
-        recordStage(out.trace, FlowStage::Subset, span,
-                    result.statesSubset, "states");
-    }
-
-    {
-        obs::SpanScope span(tracer, "flow.hopcroft");
-        result.beforeReduction = result.beforeReduction.minimizeHopcroft();
-        result.statesHopcroft = result.beforeReduction.numStates();
-        recordStage(out.trace, FlowStage::Hopcroft, span,
-                    result.statesHopcroft, "states");
-    }
-
-    {
-        obs::SpanScope span(tracer, "flow.start-reduce");
-        if (options_.keepStartupStates) {
-            result.fsm = result.beforeReduction;
-        } else {
-            result.fsm = result.beforeReduction.steadyStateReduce();
+    try {
+        std::optional<Regex> regex;
+        {
+            deadline.check("regex");
+            obs::SpanScope span(tracer, "flow.regex");
+            AUTOFSM_FAILPOINT("flow.regex");
+            regex = regexFromCover(result.cover);
+            result.regexText = regex->toString();
+            recordStage(out.trace, FlowStage::Regex, span,
+                        static_cast<int64_t>(result.cover.size()),
+                        "terms");
         }
-        result.statesFinal = result.fsm.numStates();
-        recordStage(out.trace, FlowStage::StartReduce, span,
-                    result.statesFinal, "states");
+
+        {
+            deadline.check("subset");
+            obs::SpanScope span(tracer, "flow.subset");
+            AUTOFSM_FAILPOINT("flow.subset");
+            const Nfa nfa = Nfa::fromRegex(*regex);
+            if (options_.budget.maxNfaStates > 0 &&
+                nfa.numStates() > options_.budget.maxNfaStates) {
+                throw FlowError(
+                    "subset", ErrorKind::BudgetExceeded,
+                    std::to_string(nfa.numStates()) +
+                        " NFA states > budget " +
+                        std::to_string(options_.budget.maxNfaStates));
+            }
+            result.beforeReduction =
+                Dfa::fromNfa(nfa, options_.budget.maxDfaStates);
+            result.statesSubset = result.beforeReduction.numStates();
+            recordStage(out.trace, FlowStage::Subset, span,
+                        result.statesSubset, "states");
+        }
+
+        {
+            deadline.check("hopcroft");
+            obs::SpanScope span(tracer, "flow.hopcroft");
+            AUTOFSM_FAILPOINT("flow.hopcroft");
+            result.beforeReduction =
+                result.beforeReduction.minimizeHopcroft();
+            result.statesHopcroft = result.beforeReduction.numStates();
+            recordStage(out.trace, FlowStage::Hopcroft, span,
+                        result.statesHopcroft, "states");
+        }
+
+        {
+            deadline.check("start-reduce");
+            obs::SpanScope span(tracer, "flow.start-reduce");
+            AUTOFSM_FAILPOINT("flow.start-reduce");
+            if (options_.keepStartupStates) {
+                result.fsm = result.beforeReduction;
+            } else {
+                result.fsm = result.beforeReduction.steadyStateReduce();
+            }
+            result.statesFinal = result.fsm.numStates();
+            recordStage(out.trace, FlowStage::StartReduce, span,
+                        result.statesFinal, "states");
+        }
+    } catch (const FlowError &e) {
+        // Budget overruns degrade to the saturating counter; an expired
+        // deadline means the whole run is out of time and must fail.
+        if (e.kind() == ErrorKind::DeadlineExceeded)
+            throw;
+        automataFallback(result, out.trace);
+    } catch (const std::exception &) {
+        automataFallback(result, out.trace);
     }
     return out;
 }

@@ -80,6 +80,23 @@ class FlowTrace
 
     const std::vector<StageRecord> &stages() const { return stages_; }
 
+    /**
+     * Record that a degraded path was taken, as "stage:kind" (e.g.
+     * "minimize:exact", "subset:saturating-counter"). Appended in
+     * execution order by the flow's fallback ladders.
+     */
+    void
+    noteFallback(std::string fallback)
+    {
+        fallbacks_.push_back(std::move(fallback));
+    }
+
+    /** True when any fallback path was taken during this run. */
+    bool degraded() const { return !fallbacks_.empty(); }
+
+    /** The fallback paths taken, in execution order (usually empty). */
+    const std::vector<std::string> &fallbacks() const { return fallbacks_; }
+
     /** Record for @p stage, or nullptr if the stage did not run. */
     const StageRecord *find(FlowStage stage) const;
 
@@ -92,6 +109,7 @@ class FlowTrace
 
   private:
     std::vector<StageRecord> stages_;
+    std::vector<std::string> fallbacks_;
 };
 
 /** One run's artifacts plus its stage observations. */
@@ -107,6 +125,25 @@ struct FlowResult
  * A `DesignFlow` is an immutable configuration object; `run` /
  * `runOnTrace` may be called concurrently from many threads on the same
  * instance (the flow itself holds no mutable state).
+ *
+ * **Resilience.** The flow enforces the resource budgets carried in
+ * `options().budget` (flow/budget.hh) and degrades gracefully instead of
+ * failing where a cheaper product exists:
+ *
+ *  - minimizer failure or budget overrun falls back espresso ->
+ *    Quine-McCluskey -> unminimized minterm cover;
+ *  - automata failure or budget overrun (NFA/DFA state budgets) falls
+ *    back to the classic 2-bit saturating-counter machine
+ *    (`Dfa::saturatingCounter`), the paper's baseline predictor.
+ *
+ * Every taken fallback is recorded in the run's `FlowTrace`
+ * (`degraded()` / `fallbacks()`) and counted in
+ * `autofsm_flow_fallbacks_total{stage,kind}`. Only deadline expiry
+ * (`FlowError` with `DeadlineExceeded`) and pre-flight input validation
+ * propagate out of `run`; `BatchDesigner` classifies those into
+ * retryable vs terminal failures. With a default (unlimited) budget and
+ * no failpoints configured the flow's behavior and output are
+ * bit-identical to the non-degrading pipeline.
  */
 class DesignFlow
 {
@@ -131,7 +168,12 @@ class DesignFlow
     FlowResult runOnTrace(const std::vector<int> &trace) const;
 
   private:
-    FlowResult runStages(const MarkovModel &model, FlowTrace trace) const;
+    FlowResult runStages(const MarkovModel &model, FlowTrace trace,
+                         const Deadline &deadline) const;
+    void minimizeFallback(const TruthTable &table,
+                          const MinimizeLimits &limits,
+                          FsmDesignResult &result, FlowTrace &trace) const;
+    void automataFallback(FsmDesignResult &result, FlowTrace &trace) const;
 
     FsmDesignOptions options_;
 };

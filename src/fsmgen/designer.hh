@@ -23,6 +23,7 @@
 
 #include "automata/dfa.hh"
 #include "automata/regex.hh"
+#include "flow/budget.hh"
 #include "fsmgen/markov.hh"
 #include "fsmgen/patterns.hh"
 #include "logicmin/minimize.hh"
@@ -45,6 +46,13 @@ struct FsmDesignOptions
      * size ablation).
      */
     bool keepStartupStates = false;
+    /**
+     * Per-stage resource budgets (flow/budget.hh). All-zero (the
+     * default) means unlimited and leaves the flow's behavior exactly
+     * as before; finite limits make oversized inputs degrade gracefully
+     * instead of stalling (see DesignFlow's fallback ladder).
+     */
+    FlowBudget budget;
 };
 
 /** All artifacts produced by one run of the design flow. */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/failpoint.hh"
+
 namespace autofsm
 {
 
@@ -194,6 +196,7 @@ costOf(const std::vector<Cube> &cubes)
 Cover
 minimizeEspresso(const TruthTable &table, const EspressoOptions &options)
 {
+    AUTOFSM_FAILPOINT("logicmin.espresso");
     Cover cover(table.numVars());
     const auto &on = table.onSet();
     if (on.empty())

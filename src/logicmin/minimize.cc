@@ -1,5 +1,8 @@
 #include "logicmin/minimize.hh"
 
+#include <string>
+
+#include "flow/budget.hh"
 #include "logicmin/espresso.hh"
 #include "logicmin/quine_mccluskey.hh"
 
@@ -7,13 +10,29 @@ namespace autofsm
 {
 
 Cover
-minimize(const TruthTable &table, MinimizeAlgo algo)
+minimize(const TruthTable &table, MinimizeAlgo algo,
+         const MinimizeLimits &limits)
 {
+    if (limits.maxMinterms > 0) {
+        const size_t minterms =
+            table.onSet().size() + table.dontCareSet().size();
+        if (minterms > limits.maxMinterms) {
+            throw FlowError("minimize", ErrorKind::BudgetExceeded,
+                            std::to_string(minterms) +
+                                " ON+DC minterms > budget " +
+                                std::to_string(limits.maxMinterms));
+        }
+    }
+
+    EspressoOptions espresso;
+    if (limits.maxEspressoIterations > 0)
+        espresso.maxIterations = limits.maxEspressoIterations;
+
     switch (algo) {
       case MinimizeAlgo::Exact:
         return minimizeQuineMcCluskey(table);
       case MinimizeAlgo::Heuristic:
-        return minimizeEspresso(table);
+        return minimizeEspresso(table, espresso);
       case MinimizeAlgo::Auto:
       default:
         // QM's prime generation can blow up with many ON+DC minterms at
@@ -21,8 +40,17 @@ minimize(const TruthTable &table, MinimizeAlgo algo)
         // inside its comfort zone and covers most per-branch models.
         if (table.numVars() <= 8)
             return minimizeQuineMcCluskey(table);
-        return minimizeEspresso(table);
+        return minimizeEspresso(table, espresso);
     }
+}
+
+Cover
+unminimizedCover(const TruthTable &table)
+{
+    Cover cover(table.numVars());
+    for (uint32_t m : table.onSet())
+        cover.add(Cube::minterm(m, table.numVars()));
+    return cover;
 }
 
 } // namespace autofsm

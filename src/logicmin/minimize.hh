@@ -26,15 +26,35 @@ enum class MinimizeAlgo
     Heuristic,
 };
 
+/** Resource limits for one minimize() call; zero means unlimited. */
+struct MinimizeLimits
+{
+    /** Max EXPAND/IRREDUNDANT/REDUCE iterations (espresso engine). */
+    int maxEspressoIterations = 0;
+    /** Max ON+DC minterms the call will accept before starting. */
+    size_t maxMinterms = 0;
+};
+
 /**
  * Minimize the incompletely-specified function in @p table.
  *
  * @param table ON/DC specification (OFF is implicit).
  * @param algo Engine selection; Auto uses the exact engine up to
  *        8 variables and the heuristic beyond that.
+ * @param limits Optional resource budget; exceeding it raises a
+ *        FlowError{"minimize", BudgetExceeded} (flow/budget.hh) so
+ *        callers can degrade instead of stalling on a huge function.
  * @return A cover verified to implement the function.
  */
-Cover minimize(const TruthTable &table, MinimizeAlgo algo = MinimizeAlgo::Auto);
+Cover minimize(const TruthTable &table, MinimizeAlgo algo = MinimizeAlgo::Auto,
+               const MinimizeLimits &limits = {});
+
+/**
+ * The degenerate rock-bottom "minimization": one fully-specified cube
+ * per ON minterm. Exact, never fails, and needs no iteration — the last
+ * rung of the flow's fallback ladder when both real engines are out.
+ */
+Cover unminimizedCover(const TruthTable &table);
 
 } // namespace autofsm
 

@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_set>
 
+#include "support/failpoint.hh"
+
 namespace autofsm
 {
 
@@ -77,6 +79,7 @@ primeImplicants(const TruthTable &table)
 Cover
 minimizeQuineMcCluskey(const TruthTable &table)
 {
+    AUTOFSM_FAILPOINT("logicmin.qm");
     Cover cover(table.numVars());
     const auto &on = table.onSet();
     if (on.empty())

@@ -1,0 +1,264 @@
+#include "support/failpoint.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "support/rng.hh"
+
+namespace autofsm::failpoint
+{
+
+namespace
+{
+
+enum class Mode
+{
+    After, ///< pass N evaluations, then trigger forever
+    Times, ///< trigger the first N evaluations, then pass forever
+    Every, ///< trigger every Nth evaluation
+    Prob,  ///< trigger with seeded probability
+};
+
+struct Site
+{
+    bool active = false;
+    Mode mode = Mode::After;
+    uint64_t arg = 0;
+    double prob = 0.0;
+    Rng rng{0};
+    uint64_t evaluations = 0;
+    uint64_t triggers = 0;
+    obs::Counter evalCounter;
+    obs::Counter trigCounter;
+};
+
+uint64_t
+parseCount(const std::string &text, const std::string &spec)
+{
+    try {
+        size_t pos = 0;
+        const unsigned long long value = std::stoull(text, &pos);
+        if (pos != text.size())
+            throw std::invalid_argument("trailing garbage");
+        return value;
+    } catch (const std::exception &) {
+        throw std::invalid_argument("failpoint: bad count in spec '" +
+                                    spec + "'");
+    }
+}
+
+double
+parseProbability(const std::string &text, const std::string &spec)
+{
+    try {
+        size_t pos = 0;
+        const double value = std::stod(text, &pos);
+        if (pos != text.size() || value < 0.0 || value > 1.0)
+            throw std::invalid_argument("out of range");
+        return value;
+    } catch (const std::exception &) {
+        throw std::invalid_argument("failpoint: bad probability in spec '" +
+                                    spec + "'");
+    }
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    size_t begin = 0;
+    for (;;) {
+        const size_t end = text.find(sep, begin);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(begin));
+            return parts;
+        }
+        parts.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+}
+
+} // anonymous namespace
+
+struct Registry::Impl
+{
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Site> sites;
+
+    /** Recompute the fast-path flag; callers hold `mutex`. */
+    void
+    rearm()
+    {
+        bool any = false;
+        for (const auto &[name, site] : sites)
+            any |= site.active;
+        detail::g_armed.store(any, std::memory_order_relaxed);
+    }
+};
+
+Registry::Impl &
+Registry::impl() const
+{
+    static Impl instance;
+    return instance;
+}
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+void
+Registry::set(const std::string &site, const std::string &spec)
+{
+    const std::vector<std::string> parts = split(spec, ':');
+    Site config;
+    config.active = true;
+    if (parts[0] == "fail-after" && parts.size() == 2) {
+        config.mode = Mode::After;
+        config.arg = parseCount(parts[1], spec);
+    } else if (parts[0] == "fail-times" && parts.size() == 2) {
+        config.mode = Mode::Times;
+        config.arg = parseCount(parts[1], spec);
+    } else if (parts[0] == "fail-every" && parts.size() == 2) {
+        config.mode = Mode::Every;
+        config.arg = parseCount(parts[1], spec);
+        if (config.arg == 0)
+            throw std::invalid_argument(
+                "failpoint: fail-every needs N >= 1 in spec '" + spec + "'");
+    } else if (parts[0] == "fail-prob" &&
+               (parts.size() == 2 || parts.size() == 3)) {
+        config.mode = Mode::Prob;
+        config.prob = parseProbability(parts[1], spec);
+        config.rng.reseed(parts.size() == 3 ? parseCount(parts[2], spec)
+                                            : 0x5eedf417ULL);
+    } else {
+        throw std::invalid_argument("failpoint: unknown spec '" + spec +
+                                    "' for site '" + site + "'");
+    }
+    config.evalCounter = obs::globalMetrics().counter(
+        "autofsm_failpoint_evaluations_total",
+        "Evaluations of a configured failpoint site.", {{"site", site}});
+    config.trigCounter = obs::globalMetrics().counter(
+        "autofsm_failpoint_triggers_total",
+        "Faults injected by a failpoint site.", {{"site", site}});
+
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.sites[site] = std::move(config);
+    state.rearm();
+}
+
+void
+Registry::clear(const std::string &site)
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.sites.find(site);
+    if (it != state.sites.end())
+        it->second.active = false;
+    state.rearm();
+}
+
+void
+Registry::clearAll()
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (auto &[name, site] : state.sites)
+        site.active = false;
+    state.rearm();
+}
+
+void
+Registry::configure(const std::string &config)
+{
+    for (const std::string &entry : split(config, ',')) {
+        if (entry.empty())
+            continue;
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            throw std::invalid_argument(
+                "failpoint: entry '" + entry +
+                "' is not of the form site:mode:arg");
+        }
+        set(entry.substr(0, colon), entry.substr(colon + 1));
+    }
+}
+
+bool
+Registry::configured(const std::string &site) const
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.sites.find(site);
+    return it != state.sites.end() && it->second.active;
+}
+
+SiteStats
+Registry::stats(const std::string &site) const
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    SiteStats out;
+    const auto it = state.sites.find(site);
+    if (it != state.sites.end()) {
+        out.evaluations = it->second.evaluations;
+        out.triggers = it->second.triggers;
+    }
+    return out;
+}
+
+namespace detail
+{
+
+void
+evaluateSlow(const char *site)
+{
+    Registry::Impl &state = registry().impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    const auto it = state.sites.find(site);
+    if (it == state.sites.end() || !it->second.active)
+        return;
+    Site &config = it->second;
+    const uint64_t n = ++config.evaluations; // 1-based
+    config.evalCounter.inc();
+
+    bool trigger = false;
+    switch (config.mode) {
+      case Mode::After: trigger = n > config.arg; break;
+      case Mode::Times: trigger = n <= config.arg; break;
+      case Mode::Every: trigger = n % config.arg == 0; break;
+      case Mode::Prob: trigger = config.rng.uniform() < config.prob; break;
+    }
+    if (!trigger)
+        return;
+    ++config.triggers;
+    config.trigCounter.inc();
+    throw InjectedFault(site);
+}
+
+bool
+loadEnvConfig()
+{
+    const char *env = std::getenv("AUTOFSM_FAILPOINTS");
+    if (env == nullptr || *env == '\0')
+        return true;
+    try {
+        registry().configure(env);
+    } catch (const std::exception &e) {
+        // A bad env config must not abort the process at static init;
+        // report it and run without the malformed entries.
+        std::fprintf(stderr, "AUTOFSM_FAILPOINTS ignored: %s\n", e.what());
+    }
+    return true;
+}
+
+} // namespace detail
+} // namespace autofsm::failpoint

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic fault-injection registry ("failpoints").
+ *
+ * Production code plants named sites (`AUTOFSM_FAILPOINT("flow.minimize")`)
+ * at the places a fault-tolerant system must survive failing: every design
+ * flow stage, trace construction, trace IO, and pool dispatch. A site costs
+ * exactly one relaxed atomic load when no failpoint is configured — the
+ * registry arms a process-wide flag only while at least one site has an
+ * active trigger — so sites can stay compiled into release binaries.
+ *
+ * Trigger modes (per site, evaluations counted 1-based):
+ *
+ *  - `fail-after:N`  — pass the first N evaluations, trigger all later ones
+ *    (`fail-after:0` triggers always).
+ *  - `fail-times:N`  — trigger the first N evaluations, pass afterwards
+ *    (a transient fault; drives retry paths).
+ *  - `fail-every:N`  — trigger every Nth evaluation.
+ *  - `fail-prob:P[:SEED]` — trigger with probability P from a seeded,
+ *    per-site xoshiro PRNG (deterministic per evaluation sequence).
+ *
+ * Configuration is programmatic (`failpoint::registry().set(...)`, used by
+ * tests) or environmental: `AUTOFSM_FAILPOINTS=site:mode:arg[,site:...]`
+ * is parsed once at process start. A triggered site throws `InjectedFault`
+ * and increments `autofsm_failpoint_triggers_total{site=...}`; evaluations
+ * of configured sites are counted in
+ * `autofsm_failpoint_evaluations_total{site=...}`.
+ */
+
+#ifndef AUTOFSM_SUPPORT_FAILPOINT_HH
+#define AUTOFSM_SUPPORT_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace autofsm
+{
+
+/** The exception a triggered failpoint raises. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(std::string site)
+        : std::runtime_error("injected fault at " + site),
+          site_(std::move(site))
+    {
+    }
+
+    /** Name of the site that triggered. */
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+namespace failpoint
+{
+
+/** Point-in-time tallies of one configured site. */
+struct SiteStats
+{
+    uint64_t evaluations = 0; ///< times the site was reached while configured
+    uint64_t triggers = 0;    ///< times the site threw
+};
+
+class Registry;
+
+/** The process-wide registry every AUTOFSM_FAILPOINT site consults. */
+Registry &registry();
+
+namespace detail
+{
+
+/** Armed while any site is configured; the only hot-path state. */
+inline std::atomic<bool> g_armed{false};
+
+/** Slow path behind the armed check; throws InjectedFault on trigger. */
+void evaluateSlow(const char *site);
+
+/** One-time AUTOFSM_FAILPOINTS parse, run at static initialization. */
+bool loadEnvConfig();
+inline const bool g_envLoaded = loadEnvConfig();
+
+} // namespace detail
+
+/**
+ * Evaluate the site named @p site. A single relaxed load when nothing is
+ * configured anywhere; otherwise consults the registry and throws
+ * InjectedFault if the site's trigger fires.
+ */
+inline void
+evaluate(const char *site)
+{
+    if (detail::g_armed.load(std::memory_order_relaxed)) [[unlikely]]
+        detail::evaluateSlow(site);
+}
+
+/**
+ * The registry proper. Thread-safe; all methods may race with concurrent
+ * site evaluations.
+ */
+class Registry
+{
+  public:
+    /**
+     * Configure @p site with @p spec ("mode:arg", see file comment).
+     * Replaces any existing config and resets the site's counters.
+     *
+     * @throws std::invalid_argument on an unknown mode or bad argument.
+     */
+    void set(const std::string &site, const std::string &spec);
+
+    /** Remove @p site's config (its stats remain readable until reused). */
+    void clear(const std::string &site);
+
+    /** Remove every configured site and disarm the fast-path flag. */
+    void clearAll();
+
+    /**
+     * Parse a full config string `site:mode:arg[,site:mode:arg...]`
+     * (the AUTOFSM_FAILPOINTS format) and set every entry.
+     */
+    void configure(const std::string &config);
+
+    /** True if @p site currently has an active trigger config. */
+    bool configured(const std::string &site) const;
+
+    /** Tallies for @p site (zeros if never configured). */
+    SiteStats stats(const std::string &site) const;
+
+  private:
+    friend Registry &registry();
+    friend void detail::evaluateSlow(const char *site);
+
+    Registry() = default;
+
+    struct Impl;
+    Impl &impl() const;
+};
+
+} // namespace failpoint
+} // namespace autofsm
+
+/**
+ * Plant a failpoint site. `name` must be a string literal; the call is a
+ * single relaxed atomic load unless some failpoint is configured.
+ * Compile out entirely with -DAUTOFSM_NO_FAILPOINTS.
+ */
+#ifdef AUTOFSM_NO_FAILPOINTS
+#define AUTOFSM_FAILPOINT(name) ((void)0)
+#else
+#define AUTOFSM_FAILPOINT(name) ::autofsm::failpoint::evaluate(name)
+#endif
+
+#endif // AUTOFSM_SUPPORT_FAILPOINT_HH

@@ -26,11 +26,21 @@
 #include <vector>
 
 #include "obs/metrics.hh"
+#include "support/failpoint.hh"
 
 namespace autofsm
 {
 
-/** Fixed-size worker pool; jobs are arbitrary void() callables. */
+/**
+ * Fixed-size worker pool; jobs are arbitrary void() callables.
+ *
+ * Jobs are expected to handle their own exceptions (parallelForOn does;
+ * see its lowest-index-wins contract). A job that *does* throw is
+ * contained rather than terminating the process: the worker swallows
+ * the exception, counts it in `autofsm_pool_task_exceptions_total`, and
+ * keeps serving the queue. The error itself is lost, which is why
+ * higher layers must not rely on this backstop.
+ */
 class ThreadPool
 {
   public:
@@ -104,6 +114,7 @@ class ThreadPool
     {
         obs::Gauge threads;
         obs::Counter tasks;
+        obs::Counter taskExceptions;
         obs::Histogram wait;
         obs::Histogram run;
     };
@@ -120,6 +131,10 @@ class ThreadPool
             m.tasks = registry.counter(
                 "autofsm_pool_tasks_total",
                 "Jobs executed by thread-pool workers.");
+            m.taskExceptions = registry.counter(
+                "autofsm_pool_task_exceptions_total",
+                "Jobs that threw out of the worker (contract breach; "
+                "the exception is swallowed).");
             m.wait = registry.histogram(
                 "autofsm_pool_task_wait_millis",
                 "Queue wait between submit and dequeue.",
@@ -131,6 +146,17 @@ class ThreadPool
             return m;
         }();
         return metrics;
+    }
+
+    /** Run a job, containing (and counting) any escaped exception. */
+    static void
+    runContained(Job &job)
+    {
+        try {
+            job.fn();
+        } catch (...) {
+            poolMetrics().taskExceptions.inc();
+        }
     }
 
     void
@@ -157,7 +183,7 @@ class ThreadPool
                     std::chrono::duration<double, std::milli>(
                         start - job.enqueued)
                         .count());
-                job.fn();
+                runContained(job);
                 poolMetrics().run.observe(
                     std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - start)
@@ -166,7 +192,7 @@ class ThreadPool
                 continue;
             }
 #endif
-            job.fn();
+            runContained(job);
         }
     }
 
@@ -219,6 +245,7 @@ parallelForOn(ThreadPool &pool, size_t count, const Fn &fn)
         size_t i;
         while ((i = shared.next.fetch_add(1)) < count) {
             try {
+                AUTOFSM_FAILPOINT("pool.task");
                 fn(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(shared.mutex);

@@ -1,8 +1,11 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "support/failpoint.hh"
 
 namespace autofsm
 {
@@ -13,6 +16,17 @@ namespace
 constexpr uint32_t Magic = 0x4653'4d54; // "FSMT"
 constexpr uint32_t KindBranch = 1;
 constexpr uint32_t KindValue = 2;
+
+/**
+ * Upper bound on a declared record count. A count above this cannot be
+ * a real trace (it would be a >64 GiB file) and is far more likely a
+ * corrupt or adversarial header; rejecting it up front keeps a 16-byte
+ * file from driving a multi-gigabyte reserve().
+ */
+constexpr uint64_t kMaxTraceRecords = 1ULL << 32;
+
+/** Records to pre-reserve before the stream has proven it holds them. */
+constexpr uint64_t kMaxEagerReserve = 1ULL << 20;
 
 struct Header
 {
@@ -37,6 +51,9 @@ readHeader(std::istream &in, uint32_t expected_kind)
         throw std::invalid_argument("trace file: bad magic");
     if (header.kind != expected_kind)
         throw std::invalid_argument("trace file: wrong trace kind");
+    if (header.records > kMaxTraceRecords)
+        throw std::invalid_argument(
+            "trace file: implausible record count");
     return header;
 }
 
@@ -63,6 +80,7 @@ readRaw(std::istream &in)
 void
 writeBranchTrace(std::ostream &out, const BranchTrace &trace)
 {
+    AUTOFSM_FAILPOINT("trace_io.write");
     writeHeader(out, KindBranch, trace.size());
     for (const auto &record : trace) {
         writeRaw(out, record.pc);
@@ -73,13 +91,19 @@ writeBranchTrace(std::ostream &out, const BranchTrace &trace)
 BranchTrace
 readBranchTrace(std::istream &in)
 {
+    AUTOFSM_FAILPOINT("trace_io.read");
     const Header header = readHeader(in, KindBranch);
     BranchTrace trace;
-    trace.reserve(header.records);
+    trace.reserve(std::min(header.records, kMaxEagerReserve));
     for (uint64_t i = 0; i < header.records; ++i) {
         BranchRecord record;
         record.pc = readRaw<uint64_t>(in);
-        record.taken = readRaw<uint8_t>(in) != 0;
+        const uint8_t outcome = readRaw<uint8_t>(in);
+        // A branch outcome must be exactly 0 or 1; anything else means
+        // the stream is corrupt or misframed, not a legal trace.
+        if (outcome > 1)
+            throw std::invalid_argument("trace file: bad outcome byte");
+        record.taken = outcome != 0;
         trace.push_back(record);
     }
     return trace;
@@ -98,9 +122,10 @@ writeValueTrace(std::ostream &out, const ValueTrace &trace)
 ValueTrace
 readValueTrace(std::istream &in)
 {
+    AUTOFSM_FAILPOINT("trace_io.read");
     const Header header = readHeader(in, KindValue);
     ValueTrace trace;
-    trace.reserve(header.records);
+    trace.reserve(std::min(header.records, kMaxEagerReserve));
     for (uint64_t i = 0; i < header.records; ++i) {
         LoadRecord record;
         record.pc = readRaw<uint64_t>(in);

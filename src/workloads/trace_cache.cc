@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.hh"
+#include "support/failpoint.hh"
 
 namespace autofsm
 {
@@ -91,14 +92,20 @@ cachedBranchTrace(const std::string &name, WorkloadInput input,
 
     if (creator) {
         try {
+            AUTOFSM_FAILPOINT("workloads.trace_build");
             promise.set_value(std::make_shared<const BranchTrace>(
                 makeBranchTrace(name, input, approx_branches)));
         } catch (...) {
-            // Don't cache the failure: waiters see the exception, but
-            // later callers get a fresh attempt.
+            // Don't cache the failure: the entry must be erased BEFORE
+            // the promise is fulfilled. In the other order a concurrent
+            // caller can find the entry after set_exception and latch
+            // the already-failed future instead of getting the fresh
+            // attempt this policy promises.
+            {
+                std::lock_guard<std::mutex> lock(c.mutex);
+                c.entries.erase(key);
+            }
             promise.set_exception(std::current_exception());
-            std::lock_guard<std::mutex> lock(c.mutex);
-            c.entries.erase(key);
         }
     }
     return future.get();

@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "flow/batch.hh"
 #include "flow/design_flow.hh"
@@ -110,6 +113,65 @@ TEST(ThreadPoolTest, PoolRunsSubmittedJobs)
         // Destructor drains the queue before joining.
     }
     EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsDeeplyQueuedJobs)
+{
+    // A single worker guarantees a backlog: the first job blocks until
+    // every later job is already queued, then the pool is destroyed
+    // immediately. Shutdown must still run the whole queue.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        std::promise<void> release;
+        std::shared_future<void> gate = release.get_future().share();
+        pool.submit([gate, &ran] {
+            gate.wait();
+            ran.fetch_add(1);
+        });
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        release.set_value();
+    }
+    EXPECT_EQ(ran.load(), 51);
+}
+
+TEST(ThreadPoolTest, WorkerSurvivesThrowingJob)
+{
+    // Raw submit() jobs are expected not to throw; if one does anyway,
+    // the worker contains it and keeps serving the queue instead of
+    // taking the process down via std::terminate.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        pool.submit([] { throw std::runtime_error("rogue job"); });
+        pool.submit([&ran] { ran.fetch_add(1); });
+        pool.submit([] { throw 42; }); // non-std exceptions too
+        pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, LowestIndexWinsEvenWhenHigherIndexThrowsFirst)
+{
+    // Deterministic ordering check: index 1 throws immediately, index 0
+    // throws only after a delay, so the higher index's exception is
+    // recorded first — and must still lose to the lower index.
+    try {
+        parallelFor(
+            2,
+            [](size_t i) {
+                if (i == 1)
+                    throw std::runtime_error("boom 1");
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+                throw std::runtime_error("boom 0");
+            },
+            2);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 0");
+    }
 }
 
 TEST(DesignFlowTest, MatchesLegacyDesignerOnPaperExample)
@@ -286,6 +348,33 @@ TEST(BatchDesignerTest, PoisonedItemDoesNotSinkBatch)
     EXPECT_EQ(designer.stats().failures, 1u);
     EXPECT_TRUE(
         results[2].flow.design.fsm.identical(results[0].flow.design.fsm));
+}
+
+TEST(BatchDesignerTest, FailingDuplicatesAreServedFromCache)
+{
+    // Identical models fail identically, so duplicates of a failing
+    // representative reuse its error instead of re-running the flow.
+    MarkovModel poison(5); // wrong order for the batch's options
+    poison.train(paperTrace());
+
+    FsmDesignOptions options;
+    options.order = 2;
+    BatchDesigner designer(options);
+    const auto results = designer.designAll({poison, poison, poison});
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_FALSE(results[0].fromCache);
+    for (size_t i : {size_t{1}, size_t{2}}) {
+        EXPECT_FALSE(results[i].ok);
+        EXPECT_TRUE(results[i].fromCache);
+        EXPECT_EQ(results[i].error, results[0].error);
+        EXPECT_EQ(results[i].errorKind, results[0].errorKind);
+    }
+    EXPECT_EQ(designer.stats().designed, 1u);
+    EXPECT_EQ(designer.stats().cacheHits, 2u);
+    // Every duplicate counts as its own failure.
+    EXPECT_EQ(designer.stats().failures, 3u);
 }
 
 
