@@ -53,6 +53,10 @@ main(int argc, char **argv)
               << std::setw(10) << "states" << std::setw(12) << "miss"
               << "\n";
 
+    std::vector<int> orders;
+    for (int order = 1; order <= 12; ++order)
+        orders.push_back(order);
+
     for (const std::string &name : branchBenchmarkNames()) {
         const auto train_trace =
             cachedBranchTrace(name, WorkloadInput::Train, branches);
@@ -61,18 +65,26 @@ main(int argc, char **argv)
         const BranchTrace &train = *train_trace;
         const BranchTrace &test = *test_trace;
 
-        for (int order = 1; order <= 12; ++order) {
-            CustomTrainingOptions options;
-            options.maxCustomBranches = 1;
-            options.historyLength = order;
-            const auto trained = trainCustomPredictors(train, options);
-            if (trained.empty())
-                continue;
-            const auto &branch = trained.front();
-            const double miss =
-                fsmMissRate(branch.design.fsm, branch.pc, test);
+        // One profiling pass per benchmark: the worst branch's models at
+        // every order come out of a single fold sweep instead of twelve
+        // trainCustomPredictors runs (each re-simulating the baseline).
+        CustomTrainingOptions options;
+        options.maxCustomBranches = 1;
+        const auto sweeps = collectBranchModelSweeps(train, orders, options);
+        if (sweeps.empty())
+            continue;
+        const BranchModelSweep &worst = sweeps.front();
+
+        for (int order : orders) {
+            FsmDesignOptions design;
+            design.order = order;
+            design.patterns = options.patterns;
+            design.minimizer = options.minimizer;
+            const FsmDesignResult designed =
+                designFsm(worst.profile.model(order), design);
+            const double miss = fsmMissRate(designed.fsm, worst.pc, test);
             std::cout << std::setw(10) << name << std::setw(8) << order
-                      << std::setw(10) << branch.design.statesFinal
+                      << std::setw(10) << designed.statesFinal
                       << std::setw(11) << std::fixed
                       << std::setprecision(2) << miss * 100.0 << "%\n";
         }

@@ -45,48 +45,81 @@ profileBaselineMisses(const BranchTrace &trace, const BtbConfig &baseline,
     return ranked;
 }
 
-std::vector<BranchModel>
-collectBranchModels(const BranchTrace &trace,
-                    const CustomTrainingOptions &options,
-                    BaselineBtbProfile *profile)
+std::vector<BranchModelSweep>
+collectBranchModelSweeps(const BranchTrace &trace,
+                         const std::vector<int> &orders,
+                         const CustomTrainingOptions &options,
+                         BaselineBtbProfile *profile)
 {
+    if (orders.empty())
+        throw std::invalid_argument("collectBranchModelSweeps: no orders");
+    const int max_order =
+        *std::max_element(orders.begin(), orders.end());
+
     const auto ranked =
         profileBaselineMisses(trace, options.baseline, profile);
     const size_t count = std::min(
         ranked.size(), static_cast<size_t>(options.maxCustomBranches));
 
-    // Second pass: one Markov model per selected branch, fed with the
+    // Second pass: one flat counter per selected branch, fed with the
     // global history register content at each execution of that branch.
-    // The same pass records where each selected branch executes - the
-    // sweep engine replays machines at exactly these positions.
-    std::unordered_map<uint64_t, MarkovModel> models;
-    std::unordered_map<uint64_t, std::vector<uint32_t>> positions;
+    // One walk counts at max_order; finish() folds out every lower
+    // order. The same pass records where each selected branch executes
+    // - the sweep engine replays machines at exactly these positions.
+    std::unordered_map<uint64_t, size_t> slots;
+    std::vector<MultiOrderCounter> counters;
+    std::vector<std::vector<uint32_t>> positions(count);
+    counters.reserve(count);
     for (size_t i = 0; i < count; ++i) {
-        models.emplace(ranked[i].first, MarkovModel(options.historyLength));
-        positions.emplace(ranked[i].first, std::vector<uint32_t>());
+        slots.emplace(ranked[i].first, i);
+        counters.emplace_back(max_order);
     }
 
-    HistoryRegister global(options.historyLength);
+    HistoryRegister global(max_order);
+    int pushes = 0; // global outcomes seen, saturating at max_order
     uint32_t index = 0;
     for (const auto &record : trace) {
-        const auto it = models.find(record.pc);
-        if (it != models.end()) {
-            positions.at(record.pc).push_back(index);
-            if (global.warm())
-                it->second.observe(global.value(), record.taken ? 1 : 0);
+        const auto it = slots.find(record.pc);
+        if (it != slots.end()) {
+            positions[it->second].push_back(index);
+            counters[it->second].observe(global.value(), pushes,
+                                         record.taken ? 1 : 0);
         }
         global.push(record.taken ? 1 : 0);
+        if (pushes < max_order)
+            ++pushes;
         ++index;
     }
 
-    std::vector<BranchModel> candidates;
-    candidates.reserve(count);
+    std::vector<BranchModelSweep> sweeps;
+    sweeps.reserve(count);
     for (size_t i = 0; i < count; ++i) {
+        BranchModelSweep sweep;
+        sweep.pc = ranked[i].first;
+        sweep.baselineMisses = ranked[i].second;
+        sweep.profile = counters[i].finish(orders);
+        sweep.positions = std::move(positions[i]);
+        sweeps.push_back(std::move(sweep));
+    }
+    return sweeps;
+}
+
+std::vector<BranchModel>
+collectBranchModels(const BranchTrace &trace,
+                    const CustomTrainingOptions &options,
+                    BaselineBtbProfile *profile)
+{
+    std::vector<BranchModelSweep> sweeps = collectBranchModelSweeps(
+        trace, {options.historyLength}, options, profile);
+
+    std::vector<BranchModel> candidates;
+    candidates.reserve(sweeps.size());
+    for (BranchModelSweep &sweep : sweeps) {
         BranchModel candidate;
-        candidate.pc = ranked[i].first;
-        candidate.baselineMisses = ranked[i].second;
-        candidate.model = std::move(models.at(candidate.pc));
-        candidate.positions = std::move(positions.at(candidate.pc));
+        candidate.pc = sweep.pc;
+        candidate.baselineMisses = sweep.baselineMisses;
+        candidate.model = sweep.profile.takeModel(options.historyLength);
+        candidate.positions = std::move(sweep.positions);
         candidates.push_back(std::move(candidate));
     }
     return candidates;

@@ -19,6 +19,7 @@
 #include "bpred/btb.hh"
 #include "flow/design_flow.hh"
 #include "fsmgen/designer.hh"
+#include "fsmgen/profile.hh"
 #include "synth/area.hh"
 #include "trace/branch_trace.hh"
 
@@ -101,6 +102,22 @@ struct TrainedBranch
 };
 
 /**
+ * One candidate branch carrying a whole order sweep: its models at
+ * every requested history length, derived from a single profiling pass
+ * (fsmgen/profile.hh fold sweeps).
+ */
+struct BranchModelSweep
+{
+    uint64_t pc = 0;
+    /** Baseline mispredictions in the profiling run (ranking key). */
+    uint64_t baselineMisses = 0;
+    /** Per-order models, each bit-identical to training that order. */
+    MultiOrderProfile profile;
+    /** Record indices in the training trace where this branch executes. */
+    std::vector<uint32_t> positions;
+};
+
+/**
  * Profiling + model-building front half of the training flow: rank
  * branches by baseline mispredictions and train one global-history
  * Markov model per selected branch (steps 1-2 of Section 7.3).
@@ -114,6 +131,22 @@ std::vector<BranchModel>
 collectBranchModels(const BranchTrace &trace,
                     const CustomTrainingOptions &options = {},
                     BaselineBtbProfile *profile = nullptr);
+
+/**
+ * Sweep form of collectBranchModels: one baseline profiling pass and
+ * one trace walk produce, for every selected branch, its Markov model
+ * at *every* order of @p orders (counted once at max(orders), lower
+ * orders fold-derived — see fsmgen/profile.hh). Each model is
+ * bit-identical to what collectBranchModels yields with
+ * options.historyLength set to that order. options.historyLength is
+ * ignored here; everything else (baseline geometry, branch budget)
+ * applies unchanged.
+ */
+std::vector<BranchModelSweep>
+collectBranchModelSweeps(const BranchTrace &trace,
+                         const std::vector<int> &orders,
+                         const CustomTrainingOptions &options = {},
+                         BaselineBtbProfile *profile = nullptr);
 
 /**
  * Profile @p trace with the baseline predictor and design one FSM per

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "flow/budget.hh"
+#include "fsmgen/profile.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "support/failpoint.hh"
@@ -279,10 +280,16 @@ std::vector<BatchItemResult>
 BatchDesigner::designTraces(const std::vector<std::vector<int>> &traces)
 {
     const int order = flow_.options().order;
+    const bool flat = flow_.options().flatProfiling;
     std::vector<MarkovModel> models(traces.size(), MarkovModel(order));
     parallelFor(
         traces.size(),
-        [&](size_t i) { models[i].train(traces[i]); },
+        [&](size_t i) {
+            if (flat)
+                models[i] = trainMarkovModel(traces[i], order);
+            else
+                models[i].train(traces[i]);
+        },
         options_.threads);
     return designAll(models);
 }

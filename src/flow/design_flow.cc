@@ -1,9 +1,12 @@
 #include "flow/design_flow.hh"
 
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "flow/design_memo.hh"
+#include "fsmgen/profile.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "support/failpoint.hh"
@@ -177,8 +180,13 @@ DesignFlow::runOnTrace(const std::vector<int> &trace) const
     const Deadline deadline(options_.budget.deadlineMillis);
     obs::SpanScope span(&obs::globalTracer(), "flow.markov");
     AUTOFSM_FAILPOINT("flow.markov");
-    MarkovModel model(options_.order);
-    model.train(trace);
+    MarkovModel model = options_.flatProfiling
+        ? trainMarkovModel(trace, options_.order)
+        : [&] {
+              MarkovModel sparse(options_.order);
+              sparse.train(trace);
+              return sparse;
+          }();
     FlowTrace flow_trace;
     recordStage(flow_trace, FlowStage::Markov, span,
                 static_cast<int64_t>(model.distinctHistories()),
@@ -282,6 +290,45 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace,
                         result.patterns.predictOne.size() +
                         result.patterns.predictZero.size()),
                     "specified");
+    }
+
+    // Cross-item stage memo: identical partitions share one tail
+    // execution. Eligibility requires an unlimited budget (finite
+    // budgets can change the tail's products) and no armed failpoint (a
+    // hit would mask the fault a test is injecting downstream). The
+    // failpoint evaluates before the armed() bypass so it can itself be
+    // driven.
+    AUTOFSM_FAILPOINT("flow.designmemo");
+    std::optional<DesignMemoKey> memo_key;
+    if (options_.memoizeStages && options_.budget.unlimited() &&
+        !failpoint::armed()) {
+        memo_key = designMemoKey(result.patterns, options_.minimizer,
+                                 options_.keepStartupStates);
+        if (const auto entry = designMemoLookup(*memo_key)) {
+            result.cover = entry->cover;
+            result.regexText = entry->regexText;
+            result.beforeReduction = entry->beforeReduction;
+            result.fsm = entry->fsm;
+            result.statesSubset = entry->statesSubset;
+            result.statesHopcroft = entry->statesHopcroft;
+            result.statesFinal = entry->statesFinal;
+            // Keep the FlowTrace shape of a computed run; the tail cost
+            // zero wall-clock, like the empty-cover short-circuit.
+            out.trace.add(FlowStage::Minimize, 0.0,
+                          static_cast<int64_t>(result.cover.size()),
+                          "cubes");
+            out.trace.add(FlowStage::Regex, 0.0,
+                          static_cast<int64_t>(result.cover.size()),
+                          "terms");
+            out.trace.add(FlowStage::Subset, 0.0, result.statesSubset,
+                          "states");
+            out.trace.add(FlowStage::Hopcroft, 0.0,
+                          result.statesHopcroft, "states");
+            out.trace.add(FlowStage::StartReduce, 0.0,
+                          result.statesFinal, "states");
+            out.tailFromMemo = true;
+            return out;
+        }
     }
 
     {
@@ -390,6 +437,19 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace,
         automataFallback(result, out.trace);
     } catch (const std::exception &) {
         automataFallback(result, out.trace);
+    }
+    // Only clean, fully computed tails are worth sharing: a degraded
+    // result reflects this run's failures, not the key's true product.
+    if (memo_key && !out.trace.degraded()) {
+        auto entry = std::make_shared<DesignMemoEntry>();
+        entry->cover = result.cover;
+        entry->regexText = result.regexText;
+        entry->beforeReduction = result.beforeReduction;
+        entry->fsm = result.fsm;
+        entry->statesSubset = result.statesSubset;
+        entry->statesHopcroft = result.statesHopcroft;
+        entry->statesFinal = result.statesFinal;
+        designMemoStore(std::move(*memo_key), std::move(entry));
     }
     return out;
 }

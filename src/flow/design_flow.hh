@@ -117,6 +117,13 @@ struct FlowResult
 {
     FsmDesignResult design;
     FlowTrace trace;
+    /**
+     * True when the minimize->...->reduce tail was served from the
+     * design-stage memo (flow/design_memo.hh). The artifacts are
+     * bit-identical to a computed tail; the tail's stage records carry
+     * zero wall-clock, like the empty-cover short-circuit.
+     */
+    bool tailFromMemo = false;
 };
 
 /**

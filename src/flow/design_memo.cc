@@ -1,0 +1,200 @@
+#include "flow/design_memo.hh"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.hh"
+
+namespace autofsm
+{
+
+namespace
+{
+
+/** splitmix64 finalizer (same mixing step the batch memo uses). */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Sequential hash of a sorted set (order is canonical, so keep it). */
+uint64_t
+hashSet(uint64_t seed, const std::vector<uint32_t> &values)
+{
+    uint64_t h = mix64(seed ^ values.size());
+    for (const uint32_t v : values)
+        h = mix64(h ^ v);
+    return h;
+}
+
+uint64_t
+hashKey(const DesignMemoKey &key)
+{
+    uint64_t h = mix64(static_cast<uint64_t>(key.order));
+    h = mix64(h ^ static_cast<uint64_t>(key.minimizer));
+    h = mix64(h ^ static_cast<uint64_t>(key.keepStartupStates));
+    h = hashSet(h, key.predictOne);
+    return hashSet(h, key.dontCare);
+}
+
+struct MemoTelemetry
+{
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Gauge entries;
+};
+
+MemoTelemetry &
+memoTelemetry()
+{
+    static MemoTelemetry telemetry = [] {
+        obs::MetricsRegistry &registry = obs::globalMetrics();
+        MemoTelemetry t;
+        t.hits = registry.counter(
+            "autofsm_designmemo_hits_total",
+            "Design-flow tails served from the cross-item stage memo.");
+        t.misses = registry.counter(
+            "autofsm_designmemo_misses_total",
+            "Memo-eligible design-flow tails that had to be computed.");
+        t.entries = registry.gauge(
+            "autofsm_designmemo_entries",
+            "Entries currently held by the design-stage memo.");
+        return t;
+    }();
+    return telemetry;
+}
+
+/** The process-wide memo: hash buckets with exact-key confirmation. */
+struct Memo
+{
+    std::mutex mutex;
+    std::unordered_map<
+        uint64_t,
+        std::vector<std::pair<DesignMemoKey,
+                              std::shared_ptr<const DesignMemoEntry>>>>
+        buckets;
+    size_t entries = 0;
+    size_t capacity = 4096;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+};
+
+Memo &
+memo()
+{
+    static Memo instance;
+    return instance;
+}
+
+} // anonymous namespace
+
+DesignMemoKey
+designMemoKey(const PatternSets &patterns, MinimizeAlgo minimizer,
+              bool keep_startup_states)
+{
+    DesignMemoKey key;
+    key.order = patterns.order;
+    key.minimizer = static_cast<int>(minimizer);
+    key.keepStartupStates = keep_startup_states;
+    key.predictOne = patterns.predictOne;
+    key.dontCare = patterns.dontCare;
+    return key;
+}
+
+std::shared_ptr<const DesignMemoEntry>
+designMemoLookup(const DesignMemoKey &key)
+{
+    const uint64_t hash = hashKey(key);
+    Memo &m = memo();
+    std::shared_ptr<const DesignMemoEntry> found;
+    {
+        std::lock_guard<std::mutex> lock(m.mutex);
+        const auto it = m.buckets.find(hash);
+        if (it != m.buckets.end()) {
+            for (const auto &[stored, entry] : it->second) {
+                if (stored == key) {
+                    found = entry;
+                    break;
+                }
+            }
+        }
+        if (found)
+            ++m.hits;
+        else
+            ++m.misses;
+    }
+    if (found)
+        memoTelemetry().hits.inc();
+    else
+        memoTelemetry().misses.inc();
+    return found;
+}
+
+void
+designMemoStore(DesignMemoKey key,
+                std::shared_ptr<const DesignMemoEntry> entry)
+{
+    const uint64_t hash = hashKey(key);
+    Memo &m = memo();
+    size_t entries;
+    {
+        std::lock_guard<std::mutex> lock(m.mutex);
+        if (m.entries >= m.capacity)
+            return;
+        auto &bucket = m.buckets[hash];
+        for (const auto &[stored, existing] : bucket) {
+            if (stored == key)
+                return; // first store wins; entries are equivalent
+        }
+        bucket.emplace_back(std::move(key), std::move(entry));
+        ++m.entries;
+        ++m.insertions;
+        entries = m.entries;
+    }
+    memoTelemetry().entries.set(static_cast<double>(entries));
+}
+
+DesignMemoStats
+designMemoStats()
+{
+    Memo &m = memo();
+    std::lock_guard<std::mutex> lock(m.mutex);
+    DesignMemoStats stats;
+    stats.hits = m.hits;
+    stats.misses = m.misses;
+    stats.insertions = m.insertions;
+    stats.entries = m.entries;
+    stats.capacity = m.capacity;
+    return stats;
+}
+
+void
+clearDesignMemo()
+{
+    Memo &m = memo();
+    {
+        std::lock_guard<std::mutex> lock(m.mutex);
+        m.buckets.clear();
+        m.entries = 0;
+        m.hits = 0;
+        m.misses = 0;
+        m.insertions = 0;
+    }
+    memoTelemetry().entries.set(0.0);
+}
+
+void
+designMemoSetCapacity(size_t capacity)
+{
+    Memo &m = memo();
+    std::lock_guard<std::mutex> lock(m.mutex);
+    m.capacity = capacity;
+}
+
+} // namespace autofsm

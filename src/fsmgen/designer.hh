@@ -53,6 +53,20 @@ struct FsmDesignOptions
      * instead of stalling (see DesignFlow's fallback ladder).
      */
     FlowBudget budget;
+    /**
+     * Train trace-entry models through the flat counting kernels of
+     * fsmgen/profile.hh instead of the sparse per-outcome map walk.
+     * Bit-identical models either way; off keeps the reference path.
+     */
+    bool flatProfiling = true;
+    /**
+     * Consult the process-wide design-stage memo (flow/design_memo.hh)
+     * that shares the minimize->regex->NFA->DFA->reduce tail across
+     * items with identical pattern partitions. Hits return bit-identical
+     * artifacts; the memo is bypassed automatically when the budget is
+     * finite or a failpoint is armed.
+     */
+    bool memoizeStages = true;
 };
 
 /** All artifacts produced by one run of the design flow. */

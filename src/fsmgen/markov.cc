@@ -23,6 +23,19 @@ MarkovModel::observe(uint32_t history, int outcome)
 }
 
 void
+MarkovModel::addCounts(uint32_t history, uint64_t ones, uint64_t total)
+{
+    assert((history & ~lowMask(order_)) == 0);
+    assert(ones <= total);
+    if (total == 0)
+        return;
+    auto &entry = table_[history];
+    entry.ones += ones;
+    entry.total += total;
+    total_ += total;
+}
+
+void
 MarkovModel::train(const std::vector<int> &trace)
 {
     HistoryRegister history(order_);
@@ -60,6 +73,7 @@ MarkovModel::merge(const MarkovModel &other)
         entry.total += counts.total;
     }
     total_ += other.total_;
+    publishMarkovTableGauges(*this);
 }
 
 } // namespace autofsm

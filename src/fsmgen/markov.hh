@@ -45,6 +45,14 @@ class MarkovModel
     void observe(uint32_t history, int outcome);
 
     /**
+     * Bulk form of observe: add @p ones one-outcomes out of @p total
+     * observations of @p history in one step. Used by the profiling
+     * engine (fsmgen/profile.hh) to convert dense count arrays into the
+     * sparse table; a no-op when total is zero.
+     */
+    void addCounts(uint32_t history, uint64_t ones, uint64_t total);
+
+    /**
      * Convenience trainer: slide a length-N window across @p trace and
      * observe every (history, next-bit) pair. The first N bits only warm
      * the window up, exactly as in the paper's worked example.
@@ -63,6 +71,21 @@ class MarkovModel
     /** Total observations across all histories. */
     uint64_t totalObservations() const { return total_; }
 
+    /**
+     * Approximate heap footprint of the sparse table, bytes (buckets
+     * plus nodes). Feeds the autofsm_profile_table_bytes gauge.
+     */
+    size_t
+    approxTableBytes() const
+    {
+        // Node-based map: one bucket pointer per bucket plus, per entry,
+        // the payload pair and roughly two pointers of node overhead.
+        return table_.bucket_count() * sizeof(void *) +
+            table_.size() *
+            (sizeof(std::pair<const uint32_t, HistoryCounts>) +
+             2 * sizeof(void *));
+    }
+
     /** Merge another model of the same order into this one. */
     void merge(const MarkovModel &other);
 
@@ -78,6 +101,15 @@ class MarkovModel
     uint64_t total_ = 0;
     std::unordered_map<uint32_t, HistoryCounts> table_;
 };
+
+/**
+ * Publish the autofsm_profile_distinct_histories and
+ * autofsm_profile_table_bytes gauges for @p model, making profiling
+ * memory visible in the metrics export. Implemented in profile.cc
+ * (where the profiling telemetry lives); called by merge() and by the
+ * multi-order profiler when it finishes a table.
+ */
+void publishMarkovTableGauges(const MarkovModel &model);
 
 } // namespace autofsm
 

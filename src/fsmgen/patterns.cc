@@ -29,32 +29,51 @@ definePatterns(const MarkovModel &model, const PatternOptions &options)
 
     // Select the rare histories to sacrifice: least-seen first, while
     // their cumulative observation count stays within the allowed mass.
+    // The budget prefix is usually a tiny fraction of the table (1% of
+    // the observation mass), so instead of fully sorting every history
+    // just to read off a short prefix, partial_sort a growing head until
+    // the budget is exhausted inside it. Membership in the rare set is
+    // all that matters downstream: every output set is re-sorted below.
     std::vector<std::pair<uint32_t, uint64_t>> seen;
     seen.reserve(model.table().size());
     for (const auto &[history, counts] : model.table())
         seen.emplace_back(history, counts.total);
-    std::sort(seen.begin(), seen.end(),
-              [](const auto &a, const auto &b) {
-                  if (a.second != b.second)
-                      return a.second < b.second;
-                  return a.first < b.first; // deterministic tie-break
-              });
+    const auto least_seen_first = [](const auto &a, const auto &b) {
+        if (a.second != b.second)
+            return a.second < b.second;
+        return a.first < b.first; // deterministic tie-break
+    };
 
     const auto budget = static_cast<uint64_t>(
         options.dontCareMass *
         static_cast<double>(model.totalObservations()));
-    std::vector<bool> rare(seen.size(), false);
-    uint64_t used = 0;
-    for (size_t i = 0; i < seen.size(); ++i) {
-        if (used + seen[i].second > budget)
-            break;
-        used += seen[i].second;
-        rare[i] = true;
+    size_t rare_count = 0;
+    if (budget > 0 && !seen.empty()) {
+        size_t head = std::min<size_t>(seen.size(), 64);
+        for (;;) {
+            std::partial_sort(seen.begin(), seen.begin() + head,
+                              seen.end(), least_seen_first);
+            uint64_t used = 0;
+            rare_count = head;
+            for (size_t i = 0; i < head; ++i) {
+                if (used + seen[i].second > budget) {
+                    rare_count = i;
+                    break;
+                }
+                used += seen[i].second;
+            }
+            // Done once the budget ran out inside the sorted head (the
+            // prefix is final: everything beyond it is seen at least as
+            // often) or the head already covers the whole table.
+            if (rare_count < head || head == seen.size())
+                break;
+            head = std::min(seen.size(), head * 4);
+        }
     }
 
     for (size_t i = 0; i < seen.size(); ++i) {
         const uint32_t history = seen[i].first;
-        if (rare[i]) {
+        if (i < rare_count) {
             sets.dontCare.push_back(history);
         } else if (model.probabilityOne(history) >= options.threshold) {
             sets.predictOne.push_back(history);

@@ -36,7 +36,10 @@ runFigure4(const Fig4Options &options)
             training.threads = 1;
             const auto trained = trainCustomPredictors(*trace, training);
             for (const auto &branch : trained) {
-                if (rng.uniform() <= options.sampleFraction)
+                // Strict <: uniform() is in [0, 1), so a fraction of 0.0
+                // must admit nothing (<= let a 0.0 draw through) and a
+                // fraction of 1.0 still admits everything.
+                if (rng.uniform() < options.sampleFraction)
                     sampled[b].push_back(branch.fsmArea);
             }
         },

@@ -98,6 +98,18 @@ evaluate(const char *site)
 }
 
 /**
+ * True while any failpoint is configured. Caches that must not mask
+ * injected faults (e.g. the design-stage memo, which would serve a
+ * memoized tail instead of reaching the armed site) consult this to
+ * bypass themselves during fault-injection runs.
+ */
+inline bool
+armed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/**
  * The registry proper. Thread-safe; all methods may race with concurrent
  * site evaluations.
  */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fsmgen/profile.hh"
 #include "obs/metrics.hh"
 #include "support/bits.hh"
 
@@ -81,26 +82,30 @@ collectConfidenceModels(const ValueTrace &trace, ValuePredictor &predictor,
                         std::vector<MarkovModel *> models)
 {
     assert(!models.empty());
+    std::vector<int> orders;
+    orders.reserve(models.size());
     int max_order = 0;
-    for (const MarkovModel *model : models)
+    for (const MarkovModel *model : models) {
+        orders.push_back(model->order());
         max_order = std::max(max_order, model->order());
+    }
 
     // Per-entry correctness history plus a saturating push count so each
-    // model knows when its own (shorter) warm-up completes.
+    // order knows when its own (shorter) warm-up completes. One flat
+    // counter at the widest order absorbs every outcome; the per-order
+    // tables are folded out at the end (fsmgen/profile.hh) instead of
+    // updating every model inside the per-load loop.
     std::vector<uint32_t> history(predictor.entries(), 0);
     std::vector<int> pushes(predictor.entries(), 0);
+    MultiOrderCounter counter(max_order);
 
     for (const auto &record : trace) {
         const StrideOutcome outcome =
             predictor.executeLoad(record.pc, record.value);
         const size_t entry = outcome.entry;
 
-        for (MarkovModel *model : models) {
-            if (pushes[entry] >= model->order()) {
-                model->observe(history[entry] & lowMask(model->order()),
-                               outcome.correct ? 1 : 0);
-            }
-        }
+        counter.observe(history[entry], pushes[entry],
+                        outcome.correct ? 1 : 0);
 
         history[entry] = ((history[entry] << 1) |
                           (outcome.correct ? 1U : 0U)) &
@@ -108,6 +113,10 @@ collectConfidenceModels(const ValueTrace &trace, ValuePredictor &predictor,
         if (pushes[entry] < max_order)
             ++pushes[entry];
     }
+
+    MultiOrderProfile profile = counter.finish(orders);
+    for (MarkovModel *model : models)
+        model->merge(profile.model(model->order()));
 }
 
 void

@@ -135,6 +135,18 @@ TEST(Figure4Test, SampleFractionSubsamples)
     EXPECT_LT(part, full);
 }
 
+TEST(Figure4Test, ZeroSampleFractionAdmitsNothing)
+{
+    // Regression: the sampling draw compared with <=, which let a
+    // uniform() draw of exactly 0.0 through a 0.0 fraction. uniform()
+    // is in [0, 1), so a fraction of 0.0 must admit no machine.
+    Fig4Options options;
+    options.branchesPerRun = 10000;
+    options.fsmsPerBenchmark = 2;
+    options.sampleFraction = 0.0;
+    EXPECT_TRUE(runFigure4(options).samples.empty());
+}
+
 TEST(Figure2Test, StructureAndCrossTraining)
 {
     Fig2Options options;
