@@ -51,6 +51,12 @@ struct BenchOptions
     /** "json" or "prom" (set explicitly or inferred from metricsOut). */
     std::string metricsFormat = "json";
     bool metricsFormatSet = false;
+    /**
+     * --request-file=FILE: a JSON array of DesignRequests (the
+     * flow/api.hh schema shared with the serve daemon) for benches that
+     * support request replay; empty means the bench's synthetic load.
+     */
+    std::string requestFile;
 
     /** positional[i] as long, or @p fallback when absent. */
     long
@@ -94,7 +100,8 @@ parseBenchArgs(int argc, char **argv, const char *usage)
             std::cout << "usage: " << argv[0] << " " << usage << "\n"
                       << "  [--threads=N] [--seed=N]\n"
                          "  [--metrics-out=FILE] "
-                         "[--metrics-format=json|prom]\n";
+                         "[--metrics-format=json|prom]\n"
+                         "  [--request-file=FILE]\n";
             std::exit(0);
         } else if (consumeFlag(arg, "--threads=", value)) {
             options.threads = static_cast<unsigned>(
@@ -109,6 +116,8 @@ parseBenchArgs(int argc, char **argv, const char *usage)
         } else if (consumeFlag(arg, "--metrics-format=", value)) {
             options.metricsFormat = std::string(value);
             options.metricsFormatSet = true;
+        } else if (consumeFlag(arg, "--request-file=", value)) {
+            options.requestFile = std::string(value);
         } else if (!arg.empty() && arg[0] == '-' &&
                    !(arg.size() > 1 &&
                      (std::isdigit(static_cast<unsigned char>(arg[1])) !=
@@ -146,7 +155,6 @@ exportMetricsIfRequested(const BenchOptions &options)
 {
     if (options.metricsOut.empty())
         return true;
-    const obs::MetricsSnapshot snapshot = obs::globalMetrics().snapshot();
     std::ofstream out(options.metricsOut);
     if (!out) {
         std::cerr << "warning: cannot open " << options.metricsOut
@@ -154,9 +162,9 @@ exportMetricsIfRequested(const BenchOptions &options)
         return false;
     }
     if (options.metricsFormat == "prom")
-        obs::renderPrometheusText(out, snapshot);
+        obs::renderPrometheus(out); // the shared daemon/bench scrape path
     else
-        obs::renderMetricsJson(out, snapshot);
+        obs::renderMetricsJson(out, obs::globalMetrics().snapshot());
     out.flush();
     if (!out) {
         std::cerr << "warning: short write to " << options.metricsOut

@@ -8,17 +8,26 @@
  * speedups, the memo-cache behavior, and the aggregate per-stage time
  * breakdown from the FlowTraces.
  *
+ * With --request-file=FILE the synthetic workload is replaced by a
+ * replay: the file's JSON array of DesignRequests (the flow/api.hh
+ * schema the serve daemon speaks) is run through the same
+ * BatchDesigner::designRequests engine the daemon dispatches to, with
+ * the workload trace resolver installed so traceRef requests resolve.
+ *
  * Usage: bench_flow_batch [branches_per_run] [max_branches_per_benchmark]
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "bpred/trainer.hh"
 #include "flow/batch.hh"
+#include "serve/server.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
 #include "workloads/trace_cache.hh"
@@ -38,6 +47,58 @@ millisSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** Replay a --request-file through the daemon's batch engine. */
+int
+replayRequestFile(const bench::BenchOptions &args)
+{
+    std::ifstream in(args.requestFile);
+    if (!in) {
+        std::cerr << "cannot open " << args.requestFile << "\n";
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<DesignRequest> requests;
+    try {
+        requests = designRequestsFromJson(text.str());
+    } catch (const std::exception &e) {
+        std::cerr << args.requestFile << ": " << e.what() << "\n";
+        return 1;
+    }
+
+    serve::installWorkloadTraceResolver();
+    BatchOptions batch;
+    batch.threads = args.threads;
+    BatchDesigner designer({}, batch);
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = designer.designRequests(requests);
+    const double wall_ms = millisSince(start);
+
+    size_t failures = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const DesignResponse response =
+            designResponseFromItem(requests[i], results[i]);
+        if (response.ok) {
+            std::cout << "id=" << response.id << " ok states="
+                      << response.statesFinal
+                      << (response.fromCache ? " cached" : "")
+                      << (response.degraded ? " degraded" : "") << "\n";
+        } else {
+            ++failures;
+            std::cout << "id=" << response.id << " FAILED ["
+                      << response.error.stage << " " << response.error.kind
+                      << "] " << response.error.detail << "\n";
+        }
+    }
+    std::cout << "replayed " << results.size() << " requests in "
+              << std::fixed << std::setprecision(1) << wall_ms << " ms ("
+              << designer.stats().designed << " designed, "
+              << designer.stats().cacheHits << " cached, " << failures
+              << " failed)\n";
+    bench::exportMetricsIfRequested(args);
+    return failures == 0 ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -45,6 +106,8 @@ main(int argc, char **argv)
 {
     const auto args = bench::parseBenchArgs(
         argc, argv, "[branches_per_run] [max_branches_per_benchmark]");
+    if (!args.requestFile.empty())
+        return replayRequestFile(args);
     const size_t branches_per_run =
         static_cast<size_t>(args.positionalOr(0, 400000));
     const int max_branches = static_cast<int>(args.positionalOr(1, 12));

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The unified request/response API of the design pipeline.
+ *
+ * `DesignRequest` names everything a caller can ask of the flow — where
+ * the behavior comes from (a named workload trace, inline outcomes, or a
+ * pre-trained Markov model), the design knobs (`FsmDesignOptions`), and
+ * the serving metadata (tenant, request class) — and `DesignResponse`
+ * carries everything a caller gets back: the serialized FSM artifact
+ * (automata/dfa_io text), per-stage timings, degradation flags, and the
+ * structured error taxonomy of flow/budget.hh.
+ *
+ * This is the single entry point of the library: the legacy
+ * `designFsm`/`designFromTrace` free functions are one-line wrappers
+ * over `runDesignRequest` (flow/compat.cc), `BatchDesigner` carries
+ * DesignRequests internally, and the autofsm-serve daemon speaks
+ * exactly this schema as JSON over its framed socket protocol — the
+ * wire format and the in-process API are the same thing.
+ *
+ * Request classes follow "Prediction with Restricted Resources and
+ * Finite Automata" (PAPERS.md, arXiv 0812.1949): each class names a
+ * resource envelope, realized as a `FlowBudget` by `budgetForClass` and
+ * applied by the daemon's admission controller.
+ */
+
+#ifndef AUTOFSM_FLOW_API_HH
+#define AUTOFSM_FLOW_API_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/design_flow.hh"
+#include "fsmgen/designer.hh"
+#include "support/json_parse.hh"
+
+namespace autofsm
+{
+
+/** Admission classes a request can be submitted under. */
+enum class RequestClass
+{
+    Interactive, ///< low-latency: tight deadline and state budgets
+    Batch,       ///< relaxed deadline, generous state budgets
+    Bulk,        ///< throughput: unlimited budget, lowest priority
+};
+
+/** Stable lower-case name of @p klass ("interactive", ...). */
+const char *requestClassName(RequestClass klass);
+
+/** Inverse of requestClassName; nullopt for an unknown name. */
+std::optional<RequestClass> requestClassFromName(std::string_view name);
+
+/**
+ * The FlowBudget a request of @p klass runs under when its own budget is
+ * unlimited (the admission-control mapping; see serve/server.hh).
+ * Interactive is tight, batch generous, bulk unlimited.
+ */
+FlowBudget budgetForClass(RequestClass klass);
+
+/**
+ * One design request. Exactly one behavior source must be set:
+ *
+ *  - `traceRef`: a named workload trace, resolved through the installed
+ *    TraceRefResolver (the daemon and benches install the synthetic
+ *    branch-workload resolver; see setTraceRefResolver);
+ *  - `outcomes`: the binary behavior stream inline;
+ *  - `model`: a pre-trained Markov model (the in-process fast path the
+ *    legacy designFsm wrapper uses; also serializable for wire clients
+ *    that profile locally).
+ */
+struct DesignRequest
+{
+    /** Caller-chosen correlation id, echoed in the response. */
+    uint64_t id = 0;
+    /** Tenant label for per-tenant serving metrics. */
+    std::string tenant = "anonymous";
+    RequestClass requestClass = RequestClass::Interactive;
+
+    /** Workload name (branchBenchmarkNames()) when non-empty. */
+    std::string traceRef;
+    /** Approximate trace length a traceRef resolves to. */
+    uint64_t traceBranches = 100000;
+
+    /** Inline behavior outcomes (each 0 or 1) when non-empty. */
+    std::vector<int> outcomes;
+
+    /** Pre-trained model (its order must match options.order). */
+    std::optional<MarkovModel> model;
+
+    FsmDesignOptions options;
+
+    /**
+     * Check structural validity: exactly one source, outcome values in
+     * {0,1}, order in [1,24], pattern knobs in range, plausible
+     * traceBranches.
+     *
+     * @throws std::invalid_argument (classified invalid-input) on any
+     *         violation.
+     */
+    void validate() const;
+};
+
+/** One FlowTrace stage record in serializable form. */
+struct StageSummary
+{
+    std::string stage;
+    double millis = 0.0;
+    int64_t metric = 0;
+    std::string metricName;
+};
+
+/** Structured failure of a request ({stage, kind, detail} triple). */
+struct DesignError
+{
+    std::string stage;  ///< flow stage or serve site ("serve.admit")
+    std::string kind;   ///< errorKindName of the classified failure
+    std::string detail;
+};
+
+/** Everything a design request yields. */
+struct DesignResponse
+{
+    /** Echo of DesignRequest::id. */
+    uint64_t id = 0;
+    /** True when an artifact was produced (possibly degraded). */
+    bool ok = false;
+
+    /** The designed machine, in automata/dfa_io text form. */
+    std::string artifact;
+
+    /** @name Design statistics. */
+    /// @{
+    int statesSubset = 0;
+    int statesHopcroft = 0;
+    int statesFinal = 0;
+    int64_t coverCubes = 0;
+    /// @}
+
+    /** Total wall-clock across recorded stages, milliseconds. */
+    double designMillis = 0.0;
+    /** Flow attempts consumed (retry policy). */
+    int attempts = 1;
+    /** Tail served from the process-wide design-stage memo. */
+    bool fromMemo = false;
+    /** Result reused from an identical earlier item (batch memo). */
+    bool fromCache = false;
+    /** A degraded fallback path was taken (see fallbacks). */
+    bool degraded = false;
+    /** Fallback chain, "stage:kind" in execution order. */
+    std::vector<std::string> fallbacks;
+    /** Per-stage wall-clock and size metrics. */
+    std::vector<StageSummary> stages;
+
+    /** The classified failure when !ok. */
+    DesignError error;
+};
+
+/**
+ * Resolver for DesignRequest::traceRef, mapping (name, approx branches)
+ * to a behavior stream. A plain function pointer so installation is a
+ * single atomic store; the default (none installed) makes traceRef
+ * requests fail invalid-input. serve::installWorkloadTraceResolver()
+ * installs the synthetic branch-workload resolver.
+ */
+using TraceRefResolver = std::vector<int> (*)(const std::string &ref,
+                                              uint64_t approxBranches);
+
+/** Install @p resolver process-wide (nullptr uninstalls). */
+void setTraceRefResolver(TraceRefResolver resolver);
+
+/** The currently installed resolver, or nullptr. */
+TraceRefResolver traceRefResolver();
+
+/**
+ * Resolve the request's behavior source to a Markov model at
+ * options.order: pass a pre-trained model through, train on inline
+ * outcomes (honoring options.flatProfiling), or resolve + train a
+ * traceRef. Used by the batch pipeline so identical behaviors dedupe
+ * before design.
+ *
+ * @throws std::invalid_argument on validation failure or unknown ref.
+ */
+MarkovModel resolveRequestModel(const DesignRequest &request);
+
+/**
+ * The single throwing entry point: validate, resolve the source, run
+ * the design flow under request.options. The legacy designFsm /
+ * designFromTrace wrappers delegate here; with a default budget the
+ * artifacts are bit-identical to the pre-API pipeline.
+ *
+ * @throws FlowError / std::invalid_argument as the flow does.
+ */
+FlowResult runDesignRequest(const DesignRequest &request);
+
+/**
+ * The non-throwing service entry point: runDesignRequest with every
+ * failure classified into DesignResponse::error (the daemon's per-item
+ * behavior, usable in-process).
+ */
+DesignResponse designService(const DesignRequest &request);
+
+/** Build the response for a successful flow run (ok = true). */
+DesignResponse designResponseFromFlow(const DesignRequest &request,
+                                      const FlowResult &flow);
+
+/** @name JSON serialization (deterministic, support/json.hh format).
+ * The from-JSON parsers are strict: unknown fields, out-of-range orders
+ * and malformed values are rejected with std::invalid_argument. The
+ * same schema is used verbatim by the daemon protocol, BatchDesigner
+ * request replay, and the bench --request-file flag.
+ */
+/// @{
+std::string toJson(const FlowBudget &budget);
+std::string toJson(const FsmDesignOptions &options);
+std::string toJson(const DesignRequest &request);
+std::string toJson(const DesignResponse &response);
+
+FlowBudget flowBudgetFromJson(const JsonValue &value);
+FsmDesignOptions fsmDesignOptionsFromJson(const JsonValue &value);
+DesignRequest designRequestFromJson(const JsonValue &value);
+DesignResponse designResponseFromJson(const JsonValue &value);
+
+DesignRequest designRequestFromJson(std::string_view text);
+DesignResponse designResponseFromJson(std::string_view text);
+
+/** Parse a JSON array of requests (the --request-file format). */
+std::vector<DesignRequest> designRequestsFromJson(std::string_view text);
+/// @}
+
+} // namespace autofsm
+
+#endif // AUTOFSM_FLOW_API_HH

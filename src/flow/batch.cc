@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <optional>
 #include <unordered_map>
 
 #include "flow/budget.hh"
@@ -86,16 +88,19 @@ batchTelemetry()
 bool
 classifyFailure(BatchItemResult &slot, std::exception_ptr error)
 {
+    slot.errorStage = "api";
     try {
         std::rethrow_exception(error);
     } catch (const FlowError &e) {
         slot.error = e.what();
         slot.errorKind = errorKindName(e.kind());
+        slot.errorStage = e.stage();
         return errorKindRetryable(e.kind());
     } catch (const InjectedFault &e) {
         // Injected faults model transient infrastructure errors.
         slot.error = e.what();
         slot.errorKind = errorKindName(ErrorKind::Injected);
+        slot.errorStage = e.site();
         return true;
     } catch (const std::invalid_argument &e) {
         slot.error = e.what();
@@ -149,25 +154,57 @@ markovEqual(const MarkovModel &a, const MarkovModel &b)
 }
 
 std::vector<BatchItemResult>
-BatchDesigner::designAll(const std::vector<MarkovModel> &models)
+BatchDesigner::designRequests(const std::vector<DesignRequest> &requests)
 {
     stats_ = BatchStats();
-    stats_.items = models.size();
+    stats_.items = requests.size();
 
-    // Group identical models up front: representative[i] is the index of
-    // the first item whose content equals item i. Grouping serially keeps
-    // the representative choice (and thus the output) deterministic.
-    std::vector<size_t> representative(models.size());
+    auto runParallel = [this](size_t count, auto &&fn) {
+        if (options_.pool != nullptr)
+            parallelForOn(*options_.pool, count, fn);
+        else
+            parallelFor(count, fn, options_.threads);
+    };
+
+    // Phase 1: resolve every behavior source to a Markov model. A
+    // request whose source cannot be resolved (unknown traceRef, bad
+    // outcomes) fails in its own slot and skips the design phase.
+    std::vector<BatchItemResult> results(requests.size());
+    std::vector<std::optional<MarkovModel>> models(requests.size());
+    runParallel(requests.size(), [&](size_t i) {
+        try {
+            models[i] = resolveRequestModel(requests[i]);
+        } catch (...) {
+            classifyFailure(results[i], std::current_exception());
+        }
+    });
+
+    // Phase 2: group identical work up front: representative[i] is the
+    // index of the first resolvable item with equal model content AND
+    // equal design options (requests carry their own options, so the
+    // model alone is not the memo key). Grouping serially keeps the
+    // representative choice (and thus the output) deterministic.
+    std::vector<std::string> optionKeys(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (models[i])
+            optionKeys[i] = toJson(requests[i].options);
+    }
+    std::vector<size_t> representative(requests.size());
     std::vector<size_t> unique;
-    unique.reserve(models.size());
+    unique.reserve(requests.size());
     if (options_.memoize) {
         std::unordered_map<uint64_t, std::vector<size_t>> byHash;
-        for (size_t i = 0; i < models.size(); ++i) {
-            const uint64_t hash = markovContentHash(models[i]);
+        for (size_t i = 0; i < requests.size(); ++i) {
+            representative[i] = i;
+            if (!models[i])
+                continue; // resolution failed; nothing to design
+            const uint64_t hash = markovContentHash(*models[i]) ^
+                mix64(std::hash<std::string>{}(optionKeys[i]));
             auto &bucket = byHash[hash];
             size_t rep = i;
             for (const size_t j : bucket) {
-                if (markovEqual(models[i], models[j])) {
+                if (optionKeys[i] == optionKeys[j] &&
+                    markovEqual(*models[i], *models[j])) {
                     rep = j;
                     break;
                 }
@@ -179,9 +216,10 @@ BatchDesigner::designAll(const std::vector<MarkovModel> &models)
             }
         }
     } else {
-        for (size_t i = 0; i < models.size(); ++i) {
+        for (size_t i = 0; i < requests.size(); ++i) {
             representative[i] = i;
-            unique.push_back(i);
+            if (models[i])
+                unique.push_back(i);
         }
     }
 
@@ -189,68 +227,63 @@ BatchDesigner::designAll(const std::vector<MarkovModel> &models)
     const uint64_t batch_span_id = batch_span.id();
     const auto batch_start = std::chrono::steady_clock::now();
 
-    std::vector<BatchItemResult> results(models.size());
-    parallelFor(
-        unique.size(),
-        [&](size_t u) {
-            const size_t i = unique[u];
-            // Items fan out across pool threads, so the per-item span
-            // names its parent explicitly to stay under the batch root.
-            obs::SpanScope item_span(&obs::globalTracer(), "batch.item",
-                                     batch_span_id);
-            batchTelemetry().queueWait.observe(
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - batch_start)
-                    .count());
-            BatchItemResult &slot = results[i];
-            const int max_attempts = std::max(1, options_.retry.maxAttempts);
-            for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-                slot.attempts = attempt;
-                try {
-                    AUTOFSM_FAILPOINT("batch.item");
-                    if (attempt == 1) {
-                        slot.flow = flow_.run(models[i]);
-                    } else {
-                        // Retries run under an escalated budget: each
-                        // retry multiplies finite limits again.
-                        FsmDesignOptions opts = flow_.options();
-                        double factor = 1.0;
-                        for (int r = 1; r < attempt; ++r)
-                            factor *= options_.retry.budgetEscalation;
-                        opts.budget = opts.budget.escalated(factor);
-                        slot.flow = DesignFlow(opts).run(models[i]);
-                    }
-                    slot.ok = true;
-                    slot.error.clear();
-                    slot.errorKind.clear();
-                    if (attempt > 1)
-                        batchTelemetry().retrySuccesses.inc();
+    // Phase 3: design the unique items, each under its request's own
+    // options, with the retry policy.
+    runParallel(unique.size(), [&](size_t u) {
+        const size_t i = unique[u];
+        // Items fan out across pool threads, so the per-item span
+        // names its parent explicitly to stay under the batch root.
+        obs::SpanScope item_span(&obs::globalTracer(), "batch.item",
+                                 batch_span_id);
+        batchTelemetry().queueWait.observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - batch_start)
+                .count());
+        BatchItemResult &slot = results[i];
+        const int max_attempts = std::max(1, options_.retry.maxAttempts);
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+            slot.attempts = attempt;
+            try {
+                AUTOFSM_FAILPOINT("batch.item");
+                // Retries run under an escalated budget: each retry
+                // multiplies finite limits again.
+                FsmDesignOptions opts = requests[i].options;
+                double factor = 1.0;
+                for (int r = 1; r < attempt; ++r)
+                    factor *= options_.retry.budgetEscalation;
+                opts.budget = opts.budget.escalated(factor);
+                slot.flow = DesignFlow(opts).run(*models[i]);
+                slot.ok = true;
+                slot.error.clear();
+                slot.errorKind.clear();
+                slot.errorStage.clear();
+                if (attempt > 1)
+                    batchTelemetry().retrySuccesses.inc();
+                break;
+            } catch (...) {
+                const bool retryable =
+                    classifyFailure(slot, std::current_exception());
+                if (!retryable || attempt == max_attempts)
                     break;
-                } catch (...) {
-                    const bool retryable =
-                        classifyFailure(slot, std::current_exception());
-                    if (!retryable || attempt == max_attempts)
-                        break;
-                    batchTelemetry().retries.inc();
-                }
+                batchTelemetry().retries.inc();
             }
-            if (slot.ok && slot.flow.trace.degraded()) {
-                slot.degraded = true;
-                std::string joined;
-                for (const std::string &f : slot.flow.trace.fallbacks()) {
-                    if (!joined.empty())
-                        joined += ',';
-                    joined += f;
-                }
-                slot.fallback = std::move(joined);
+        }
+        if (slot.ok && slot.flow.trace.degraded()) {
+            slot.degraded = true;
+            std::string joined;
+            for (const std::string &f : slot.flow.trace.fallbacks()) {
+                if (!joined.empty())
+                    joined += ',';
+                joined += f;
             }
-            batchTelemetry().itemMillis.observe(item_span.finishMillis());
-        },
-        options_.threads);
+            slot.fallback = std::move(joined);
+        }
+        batchTelemetry().itemMillis.observe(item_span.finishMillis());
+    });
 
     // Serve duplicates from their representative (including its failure,
-    // if any: an identical model would fail identically).
-    for (size_t i = 0; i < models.size(); ++i) {
+    // if any: an identical request would fail identically).
+    for (size_t i = 0; i < requests.size(); ++i) {
         const size_t rep = representative[i];
         if (rep == i)
             continue;
@@ -277,21 +310,57 @@ BatchDesigner::designAll(const std::vector<MarkovModel> &models)
 }
 
 std::vector<BatchItemResult>
+BatchDesigner::designAll(const std::vector<MarkovModel> &models)
+{
+    // Wrap each model as a DesignRequest under the shared design
+    // options; the request engine's dedup and retry semantics are
+    // exactly the historical designAll ones when all options are equal.
+    std::vector<DesignRequest> requests(models.size());
+    for (size_t i = 0; i < models.size(); ++i) {
+        requests[i].id = i;
+        requests[i].model = models[i];
+        requests[i].options = flow_.options();
+    }
+    return designRequests(requests);
+}
+
+std::vector<BatchItemResult>
 BatchDesigner::designTraces(const std::vector<std::vector<int>> &traces)
 {
     const int order = flow_.options().order;
     const bool flat = flow_.options().flatProfiling;
     std::vector<MarkovModel> models(traces.size(), MarkovModel(order));
-    parallelFor(
-        traces.size(),
-        [&](size_t i) {
-            if (flat)
-                models[i] = trainMarkovModel(traces[i], order);
-            else
-                models[i].train(traces[i]);
-        },
-        options_.threads);
+    auto train = [&](size_t i) {
+        if (flat)
+            models[i] = trainMarkovModel(traces[i], order);
+        else
+            models[i].train(traces[i]);
+    };
+    if (options_.pool != nullptr)
+        parallelForOn(*options_.pool, traces.size(), train);
+    else
+        parallelFor(traces.size(), train, options_.threads);
     return designAll(models);
+}
+
+DesignResponse
+designResponseFromItem(const DesignRequest &request,
+                       const BatchItemResult &item)
+{
+    if (item.ok) {
+        DesignResponse response =
+            designResponseFromFlow(request, item.flow);
+        response.attempts = item.attempts;
+        response.fromCache = item.fromCache;
+        return response;
+    }
+    DesignResponse response;
+    response.id = request.id;
+    response.attempts = item.attempts;
+    response.fromCache = item.fromCache;
+    response.error = {item.errorStage.empty() ? "api" : item.errorStage,
+                      item.errorKind, item.error};
+    return response;
 }
 
 } // namespace autofsm

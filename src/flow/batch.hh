@@ -24,10 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "flow/api.hh"
 #include "flow/design_flow.hh"
 
 namespace autofsm
 {
+
+class ThreadPool;
 
 /**
  * Order-independent content hash of a model (table entries, order,
@@ -68,6 +71,14 @@ struct BatchOptions
     bool memoize = true;
     /** Per-item retry policy (default: no retries). */
     RetryPolicy retry;
+    /**
+     * Run batch items on this long-lived pool instead of spawning
+     * per-call threads (the serve daemon shares one pool across all
+     * dispatches). nullptr (the default) keeps the per-call
+     * `parallelFor` behavior, including inline in-order execution at
+     * threads = 1.
+     */
+    ThreadPool *pool = nullptr;
 };
 
 /** Outcome of one batch item. */
@@ -87,6 +98,8 @@ struct BatchItemResult
     std::string error;
     /** errorKindName of the failure when !ok and classifiable, "" else. */
     std::string errorKind;
+    /** Failing flow stage when !ok ("minimize", ...), "api" otherwise. */
+    std::string errorStage;
     /** Design artifacts and stage observations (valid when ok). */
     FlowResult flow;
 };
@@ -123,7 +136,23 @@ class BatchDesigner
     const BatchStats &stats() const { return stats_; }
 
     /**
-     * Design every model of @p models concurrently.
+     * Design every request of @p requests concurrently. This is the
+     * batch engine proper — designAll/designTraces wrap it — and what
+     * the serve daemon's dispatcher feeds.
+     *
+     * Each request is resolved to a Markov model (resolveRequestModel;
+     * a resolution failure is isolated to its own slot), deduplicated
+     * against requests with identical model content *and* identical
+     * design options, and designed under its own `options` with the
+     * retry policy.
+     *
+     * @return One result per input, in input order.
+     */
+    std::vector<BatchItemResult>
+    designRequests(const std::vector<DesignRequest> &requests);
+
+    /**
+     * Design every model of @p models under designOptions().
      *
      * @return One result per input, in input order.
      */
@@ -142,6 +171,15 @@ class BatchDesigner
     BatchOptions options_;
     BatchStats stats_;
 };
+
+/**
+ * Render one batch item as a DesignResponse (the serve daemon's and the
+ * bench replay's response path): a successful item through
+ * designResponseFromFlow plus the batch-level attempts/fromCache flags,
+ * a failed one with its classified {stage, kind, detail}.
+ */
+DesignResponse designResponseFromItem(const DesignRequest &request,
+                                      const BatchItemResult &item);
 
 } // namespace autofsm
 

@@ -2,14 +2,15 @@
  * @file
  * Legacy entry points of the design pipeline.
  *
- * `designFsm` / `designFromTrace` (declared in fsmgen/designer.hh) predate
- * the stage-oriented DesignFlow API and remain as thin wrappers for
- * existing callers; new code should construct a DesignFlow (or a
- * BatchDesigner for many traces) to get stage observability on top of the
- * same artifacts.
+ * `designFsm` / `designFromTrace` (declared in fsmgen/designer.hh)
+ * predate the unified DesignRequest/DesignResponse API and remain as
+ * deprecated one-line wrappers for existing callers; new code should
+ * build a `DesignRequest` and call `runDesignRequest` (flow/api.hh) —
+ * or a `BatchDesigner` for many requests — to get stage observability,
+ * serialization and serving on top of the same artifacts.
  */
 
-#include "flow/design_flow.hh"
+#include "flow/api.hh"
 #include "fsmgen/designer.hh"
 
 namespace autofsm
@@ -18,14 +19,20 @@ namespace autofsm
 FsmDesignResult
 designFsm(const MarkovModel &model, const FsmDesignOptions &options)
 {
-    return DesignFlow(options).run(model).design;
+    DesignRequest request;
+    request.model = model;
+    request.options = options;
+    return runDesignRequest(request).design;
 }
 
 FsmDesignResult
 designFromTrace(const std::vector<int> &trace,
                 const FsmDesignOptions &options)
 {
-    return DesignFlow(options).runOnTrace(trace).design;
+    DesignRequest request;
+    request.outcomes = trace;
+    request.options = options;
+    return runDesignRequest(request).design;
 }
 
 } // namespace autofsm

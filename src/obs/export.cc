@@ -191,6 +191,20 @@ metricsToPrometheus(const MetricsSnapshot &snapshot)
     return out.str();
 }
 
+void
+renderPrometheus(std::ostream &out)
+{
+    renderPrometheusText(out, globalMetrics().snapshot());
+}
+
+std::string
+renderPrometheus()
+{
+    std::ostringstream out;
+    renderPrometheus(out);
+    return out.str();
+}
+
 namespace
 {
 

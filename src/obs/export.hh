@@ -41,6 +41,15 @@ void renderPrometheusText(std::ostream &out,
 std::string metricsToPrometheus(const MetricsSnapshot &snapshot);
 
 /**
+ * The one scrape path every consumer shares: snapshot the global
+ * registry and render it in the Prometheus text format. The serve
+ * daemon's metrics frame, the bench `--metrics-out=*.prom` export and
+ * ad-hoc dumps all call this, so their bytes agree by construction.
+ */
+void renderPrometheus(std::ostream &out);
+std::string renderPrometheus();
+
+/**
  * Render finished spans as a JSON forest: {"spans":[...]}, each node
  * {"id","name","startMillis","millis","children":[...]}. Children nest
  * under their parent; spans whose parent is absent render as roots.

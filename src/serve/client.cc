@@ -1,0 +1,50 @@
+#include "serve/client.hh"
+
+namespace autofsm::serve
+{
+
+Client::Client(const std::string &host, uint16_t port,
+               uint32_t maxPayloadBytes)
+    : socket_(connectTo(host, port)), decoder_(maxPayloadBytes)
+{
+}
+
+Frame
+Client::roundTrip(FrameType type, std::string_view payload, FrameType want)
+{
+    sendAll(socket_, encodeFrame(type, payload));
+    std::string chunk;
+    for (;;) {
+        while (std::optional<Frame> frame = decoder_.next()) {
+            if (frame->type == FrameType::Error)
+                throw ServerError(frame->payload);
+            if (frame->type == want)
+                return std::move(*frame);
+            // A frame we did not ask for; skip it (future-proofing).
+        }
+        if (!recvSome(socket_, chunk)) {
+            throw NetError(
+                "connection closed while waiting for a response");
+        }
+        decoder_.feed(chunk);
+    }
+}
+
+DesignResponse
+Client::design(const DesignRequest &request)
+{
+    const Frame reply = roundTrip(FrameType::DesignRequest,
+                                  toJson(request),
+                                  FrameType::DesignResponse);
+    return designResponseFromJson(reply.payload);
+}
+
+std::string
+Client::fetchMetrics()
+{
+    return roundTrip(FrameType::MetricsRequest, {},
+                     FrameType::MetricsResponse)
+        .payload;
+}
+
+} // namespace autofsm::serve

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Thin synchronous client of the autofsm-serve protocol.
+ *
+ * One `Client` owns one connection and is single-threaded by design:
+ * it writes a frame, then reads until the matching reply. Concurrency
+ * tests and the CLI fan out by opening one Client per thread — the
+ * daemon's per-connection reader makes that the natural unit.
+ */
+
+#ifndef AUTOFSM_SERVE_CLIENT_HH
+#define AUTOFSM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "flow/api.hh"
+#include "serve/frame.hh"
+#include "serve/net.hh"
+
+namespace autofsm::serve
+{
+
+/** The server answered with an Error frame (protocol-level failure). */
+class ServerError : public std::runtime_error
+{
+  public:
+    explicit ServerError(const std::string &what)
+        : std::runtime_error("server: " + what)
+    {
+    }
+};
+
+class Client
+{
+  public:
+    /** Connect immediately. @throws NetError when nobody listens. */
+    Client(const std::string &host, uint16_t port,
+           uint32_t maxPayloadBytes = kDefaultMaxPayloadBytes);
+
+    /**
+     * Submit @p request and block for its DesignResponse. Admission
+     * refusals come back as a response with `ok == false` (inspect
+     * `error`), not an exception.
+     *
+     * @throws ServerError on an Error frame, NetError / FrameError when
+     *         the connection broke.
+     */
+    DesignResponse design(const DesignRequest &request);
+
+    /** Scrape the daemon's metrics (Prometheus text exposition). */
+    std::string fetchMetrics();
+
+  private:
+    Frame roundTrip(FrameType type, std::string_view payload,
+                    FrameType want);
+
+    Socket socket_;
+    FrameDecoder decoder_;
+};
+
+} // namespace autofsm::serve
+
+#endif // AUTOFSM_SERVE_CLIENT_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The autofsm-client executable.
+ *
+ *     autofsm-client [--host=IP] [--port=N] [--count=N]
+ *                    [--class=interactive|batch|bulk|mix]
+ *                    [--trace-ref=NAME] [--branches=N] [--order=N]
+ *                    [--tenant=NAME] [--request-file=FILE] [--metrics]
+ *
+ * Drives the autofsm-serve daemon: sends --count design requests (class
+ * "mix" cycles interactive/batch/bulk, the smoke job's load), prints a
+ * one-line summary per response, and exits nonzero if any request
+ * failed or returned an empty artifact. --metrics scrapes and prints
+ * the daemon's Prometheus text instead. --request-file replays a JSON
+ * array of DesignRequests (the flow/api.hh schema).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/client.hh"
+
+namespace
+{
+
+bool
+flagText(std::string_view arg, std::string_view prefix, std::string *out)
+{
+    if (arg.substr(0, prefix.size()) != prefix)
+        return false;
+    *out = std::string(arg.substr(prefix.size()));
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace autofsm;
+    std::string host = "127.0.0.1";
+    long port = 7421;
+    long count = 1;
+    std::string klass = "interactive";
+    std::string traceRef = "compress";
+    long branches = 20000;
+    long order = 2;
+    std::string tenant = "cli";
+    std::string requestFile;
+    bool metrics = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        std::string text;
+        if (arg == "-h" || arg == "--help") {
+            std::cout
+                << "usage: " << argv[0]
+                << " [--host=IP] [--port=N] [--count=N]\n"
+                   "  [--class=interactive|batch|bulk|mix] "
+                   "[--trace-ref=NAME]\n"
+                   "  [--branches=N] [--order=N] [--tenant=NAME]\n"
+                   "  [--request-file=FILE] [--metrics]\n";
+            return 0;
+        } else if (arg == "--metrics") {
+            metrics = true;
+        } else if (flagText(arg, "--host=", &host) ||
+                   flagText(arg, "--class=", &klass) ||
+                   flagText(arg, "--trace-ref=", &traceRef) ||
+                   flagText(arg, "--tenant=", &tenant) ||
+                   flagText(arg, "--request-file=", &requestFile)) {
+        } else if (flagText(arg, "--port=", &text)) {
+            port = std::strtol(text.c_str(), nullptr, 10);
+        } else if (flagText(arg, "--count=", &text)) {
+            count = std::strtol(text.c_str(), nullptr, 10);
+        } else if (flagText(arg, "--branches=", &text)) {
+            branches = std::strtol(text.c_str(), nullptr, 10);
+        } else if (flagText(arg, "--order=", &text)) {
+            order = std::strtol(text.c_str(), nullptr, 10);
+        } else {
+            std::cerr << argv[0] << ": unknown flag '" << arg << "'\n";
+            return 2;
+        }
+    }
+
+    try {
+        serve::Client client(host, static_cast<uint16_t>(port));
+        if (metrics) {
+            std::cout << client.fetchMetrics();
+            return 0;
+        }
+
+        std::vector<DesignRequest> requests;
+        if (!requestFile.empty()) {
+            std::ifstream in(requestFile);
+            if (!in) {
+                std::cerr << argv[0] << ": cannot open " << requestFile
+                          << "\n";
+                return 1;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            requests = designRequestsFromJson(text.str());
+        } else {
+            static const char *kMix[] = {"interactive", "batch", "bulk"};
+            for (long i = 0; i < count; ++i) {
+                DesignRequest request;
+                request.id = static_cast<uint64_t>(i + 1);
+                request.tenant = tenant;
+                const std::string name =
+                    klass == "mix" ? kMix[i % 3] : klass;
+                const auto parsed = requestClassFromName(name);
+                if (!parsed) {
+                    std::cerr << argv[0] << ": unknown class '" << name
+                              << "'\n";
+                    return 2;
+                }
+                request.requestClass = *parsed;
+                request.traceRef = traceRef;
+                request.traceBranches = static_cast<uint64_t>(branches);
+                request.options.order = static_cast<int>(order);
+                requests.push_back(std::move(request));
+            }
+        }
+
+        int failures = 0;
+        for (const DesignRequest &request : requests) {
+            const DesignResponse response = client.design(request);
+            if (response.ok && !response.artifact.empty()) {
+                std::cout << "id=" << response.id << " ok states="
+                          << response.statesFinal << " millis="
+                          << response.designMillis
+                          << (response.degraded ? " degraded" : "")
+                          << (response.fromCache ? " cached" : "") << "\n";
+            } else {
+                ++failures;
+                std::cout << "id=" << response.id << " FAILED ["
+                          << response.error.stage << " "
+                          << response.error.kind << "] "
+                          << response.error.detail << "\n";
+            }
+        }
+        if (failures > 0) {
+            std::cerr << failures << " of " << requests.size()
+                      << " requests failed\n";
+            return 1;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << argv[0] << ": " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

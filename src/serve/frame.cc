@@ -1,0 +1,140 @@
+#include "serve/frame.hh"
+
+#include <array>
+
+namespace autofsm::serve
+{
+
+namespace
+{
+
+/** The reflected IEEE polynomial's byte-at-a-time lookup table. */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0u);
+            t[i] = crc;
+        }
+        return t;
+    }();
+    return table;
+}
+
+void
+putU32Le(std::string &out, uint32_t value)
+{
+    out += static_cast<char>(value & 0xff);
+    out += static_cast<char>((value >> 8) & 0xff);
+    out += static_cast<char>((value >> 16) & 0xff);
+    out += static_cast<char>((value >> 24) & 0xff);
+}
+
+uint32_t
+getU32Le(const char *bytes)
+{
+    const auto b = [bytes](int i) {
+        return static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]));
+    };
+    return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+} // anonymous namespace
+
+bool
+frameTypeKnown(uint8_t type)
+{
+    return type >= static_cast<uint8_t>(FrameType::DesignRequest) &&
+        type <= static_cast<uint8_t>(FrameType::Error);
+}
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::DesignRequest: return "design-request";
+      case FrameType::DesignResponse: return "design-response";
+      case FrameType::MetricsRequest: return "metrics-request";
+      case FrameType::MetricsResponse: return "metrics-response";
+      case FrameType::Error: return "error";
+    }
+    return "?";
+}
+
+uint32_t
+crc32(std::string_view bytes)
+{
+    const auto &table = crcTable();
+    uint32_t crc = 0xffffffffu;
+    for (const char c : bytes) {
+        crc = (crc >> 8) ^
+            table[(crc ^ static_cast<unsigned char>(c)) & 0xff];
+    }
+    return crc ^ 0xffffffffu;
+}
+
+std::string
+encodeFrame(FrameType type, std::string_view payload)
+{
+    std::string out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    out += static_cast<char>(kFrameVersion);
+    out += static_cast<char>(type);
+    putU32Le(out, static_cast<uint32_t>(payload.size()));
+    putU32Le(out, crc32(payload));
+    out.append(payload);
+    return out;
+}
+
+void
+FrameDecoder::feed(std::string_view bytes)
+{
+    // Compact lazily: drop consumed bytes once they dominate the buffer
+    // so a long-lived connection does not grow without bound.
+    if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buffer_.append(bytes);
+}
+
+std::optional<Frame>
+FrameDecoder::next()
+{
+    if (buffered() < kFrameHeaderBytes)
+        return std::nullopt;
+    const char *header = buffer_.data() + consumed_;
+    const uint8_t version = static_cast<unsigned char>(header[0]);
+    if (version != kFrameVersion) {
+        throw FrameError("unsupported version " + std::to_string(version) +
+                         " (want " + std::to_string(kFrameVersion) + ")");
+    }
+    const uint8_t type = static_cast<unsigned char>(header[1]);
+    if (!frameTypeKnown(type))
+        throw FrameError("unknown frame type " + std::to_string(type));
+    const uint32_t length = getU32Le(header + 2);
+    if (length > maxPayload_) {
+        throw FrameError("payload length " + std::to_string(length) +
+                         " exceeds cap " + std::to_string(maxPayload_));
+    }
+    const uint32_t wantCrc = getU32Le(header + 6);
+    if (buffered() < kFrameHeaderBytes + length)
+        return std::nullopt; // incomplete, not malformed
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(buffer_, consumed_ + kFrameHeaderBytes, length);
+    const uint32_t gotCrc = crc32(frame.payload);
+    if (gotCrc != wantCrc) {
+        throw FrameError("payload CRC mismatch (got " +
+                         std::to_string(gotCrc) + ", header says " +
+                         std::to_string(wantCrc) + ")");
+    }
+    consumed_ += kFrameHeaderBytes + length;
+    return frame;
+}
+
+} // namespace autofsm::serve

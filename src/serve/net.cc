@@ -1,0 +1,148 @@
+#include "serve/net.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace autofsm::serve
+{
+
+namespace
+{
+
+[[noreturn]] void
+failErrno(const std::string &what)
+{
+    throw NetError(what + ": " + std::strerror(errno));
+}
+
+} // anonymous namespace
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket
+listenOn(uint16_t port, uint16_t *boundPort)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        failErrno("socket");
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        failErrno("bind to 127.0.0.1:" + std::to_string(port));
+    }
+    if (::listen(sock.fd(), 64) != 0)
+        failErrno("listen");
+
+    if (boundPort != nullptr) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(sock.fd(), reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0) {
+            failErrno("getsockname");
+        }
+        *boundPort = ntohs(bound.sin_port);
+    }
+    return sock;
+}
+
+Socket
+connectTo(const std::string &host, uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw NetError("cannot parse IPv4 address '" + host + "'");
+
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        failErrno("socket");
+    if (::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        failErrno("connect to " + host + ":" + std::to_string(port));
+    }
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return sock;
+}
+
+Socket
+acceptConnection(const Socket &listener)
+{
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0) {
+            Socket sock(fd);
+            const int one = 1;
+            ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return sock;
+        }
+        if (errno == EINTR || errno == ECONNABORTED)
+            continue;
+        return Socket(); // listener shut down (or fatally broken)
+    }
+}
+
+void
+sendAll(const Socket &socket, std::string_view bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
+        // daemon with SIGPIPE.
+        const ssize_t n = ::send(socket.fd(), bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            failErrno("send");
+        }
+        sent += static_cast<size_t>(n);
+    }
+}
+
+bool
+recvSome(const Socket &socket, std::string &out, size_t capacity)
+{
+    out.resize(capacity);
+    for (;;) {
+        const ssize_t n = ::recv(socket.fd(), out.data(), capacity, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            out.clear();
+            return false; // reset/shutdown: treat like EOF
+        }
+        out.resize(static_cast<size_t>(n));
+        return n > 0;
+    }
+}
+
+} // namespace autofsm::serve

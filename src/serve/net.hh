@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal POSIX TCP helpers for the serve daemon and client.
+ *
+ * Deliberately tiny: a move-only RAII `Socket`, loopback-only listen /
+ * connect, and looped full-buffer send. The daemon serves co-located
+ * tooling (benches, CI, a designer's workstation), so binding beyond
+ * 127.0.0.1 is out of scope here — put a real proxy in front for that.
+ */
+
+#ifndef AUTOFSM_SERVE_NET_HH
+#define AUTOFSM_SERVE_NET_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace autofsm::serve
+{
+
+/** A socket-layer failure (connect refused, bind in use, ...). */
+class NetError : public std::runtime_error
+{
+  public:
+    explicit NetError(const std::string &what)
+        : std::runtime_error("net: " + what)
+    {
+    }
+};
+
+/** Move-only owner of a file descriptor. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Shut down both directions without closing the descriptor:
+     * unblocks a thread sitting in recv/accept on this socket, which is
+     * how the server interrupts its connection threads on shutdown
+     * while they still own the fd.
+     */
+    void shutdownBoth();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Listen on 127.0.0.1:@p port (0 picks a free port). The actually bound
+ * port is stored in @p boundPort.
+ *
+ * @throws NetError on socket/bind/listen failure.
+ */
+Socket listenOn(uint16_t port, uint16_t *boundPort);
+
+/**
+ * Connect to @p host:@p port.
+ *
+ * @throws NetError on resolution or connect failure.
+ */
+Socket connectTo(const std::string &host, uint16_t port);
+
+/**
+ * Block until a client connects to @p listener and return its socket.
+ * Returns an invalid Socket when the listener was shut down or closed
+ * (the server's stop signal), never throws.
+ */
+Socket acceptConnection(const Socket &listener);
+
+/**
+ * Write all of @p bytes, looping over short sends.
+ *
+ * @throws NetError when the peer went away mid-write.
+ */
+void sendAll(const Socket &socket, std::string_view bytes);
+
+/**
+ * Read up to @p capacity bytes into @p out (resized to what arrived).
+ *
+ * @return false on orderly EOF or a reset connection.
+ */
+bool recvSome(const Socket &socket, std::string &out,
+              size_t capacity = 64 * 1024);
+
+} // namespace autofsm::serve
+
+#endif // AUTOFSM_SERVE_NET_HH

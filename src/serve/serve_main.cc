@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The autofsm-serve executable.
+ *
+ *     autofsm-serve [--port=N] [--workers=N] [--queue-depth=N]
+ *                   [--no-class-budgets] [--retries=N]
+ *
+ * Serves the framed DesignRequest protocol on 127.0.0.1 until SIGTERM
+ * or SIGINT, then drains (every admitted request is answered) and
+ * exits 0. Prints one "listening on 127.0.0.1:<port>" line to stdout
+ * once ready, which is what the smoke job and the quickstart wait for.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string_view>
+
+#include <unistd.h>
+
+#include "serve/server.hh"
+
+namespace
+{
+
+/** Self-pipe written by the signal handler, read by main. */
+int g_signalPipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    // write(2) is async-signal-safe; best effort on a full pipe.
+    [[maybe_unused]] const ssize_t n = write(g_signalPipe[1], &byte, 1);
+}
+
+bool
+flagValue(std::string_view arg, std::string_view prefix, long *out)
+{
+    if (arg.substr(0, prefix.size()) != prefix)
+        return false;
+    *out = std::strtol(std::string(arg.substr(prefix.size())).c_str(),
+                       nullptr, 10);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    autofsm::serve::ServeOptions options;
+    options.port = 7421;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        long value = 0;
+        if (arg == "-h" || arg == "--help") {
+            std::cout << "usage: " << argv[0]
+                      << " [--port=N] [--workers=N] [--queue-depth=N]\n"
+                         "  [--no-class-budgets] [--retries=N]\n";
+            return 0;
+        } else if (flagValue(arg, "--port=", &value)) {
+            options.port = static_cast<uint16_t>(value);
+        } else if (flagValue(arg, "--workers=", &value)) {
+            options.workers = static_cast<unsigned>(value);
+        } else if (flagValue(arg, "--queue-depth=", &value)) {
+            options.maxQueueDepth = static_cast<size_t>(value);
+        } else if (flagValue(arg, "--retries=", &value)) {
+            options.retry.maxAttempts = static_cast<int>(value) + 1;
+        } else if (arg == "--no-class-budgets") {
+            options.applyClassBudgets = false;
+        } else {
+            std::cerr << argv[0] << ": unknown flag '" << arg << "'\n";
+            return 2;
+        }
+    }
+
+    if (pipe(g_signalPipe) != 0) {
+        std::perror("pipe");
+        return 1;
+    }
+    struct sigaction action{};
+    action.sa_handler = onSignal;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    autofsm::serve::installWorkloadTraceResolver();
+    autofsm::serve::Server server(options);
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::cerr << argv[0] << ": " << e.what() << "\n";
+        return 1;
+    }
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+    // Block until a signal arrives.
+    char byte = 0;
+    while (read(g_signalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::cout << "draining..." << std::endl;
+    server.shutdown();
+    std::cout << "drained, bye" << std::endl;
+    return 0;
+}

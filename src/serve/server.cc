@@ -1,0 +1,448 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "support/failpoint.hh"
+#include "workloads/trace_cache.hh"
+
+namespace autofsm::serve
+{
+
+namespace
+{
+
+/** Unlabeled serve instrumentation, registered once. */
+struct ServeTelemetry
+{
+    obs::Gauge queueDepth;
+    obs::Counter frameErrors;
+    obs::Counter acceptFaults;
+    obs::Counter droppedResponses;
+    obs::Histogram dispatchBatch;
+};
+
+ServeTelemetry &
+serveTelemetry()
+{
+    static ServeTelemetry telemetry = [] {
+        obs::MetricsRegistry &registry = obs::globalMetrics();
+        ServeTelemetry t;
+        t.queueDepth = registry.gauge(
+            "autofsm_serve_queue_depth",
+            "Admitted requests waiting for the dispatcher.");
+        t.frameErrors = registry.counter(
+            "autofsm_serve_frame_errors_total",
+            "Connections dropped for malformed framing.");
+        t.acceptFaults = registry.counter(
+            "autofsm_serve_accept_faults_total",
+            "Recovered faults in the accept loop (serve.accept).");
+        t.droppedResponses = registry.counter(
+            "autofsm_serve_dropped_responses_total",
+            "Responses whose client had already disconnected.");
+        t.dispatchBatch = registry.histogram(
+            "autofsm_serve_dispatch_batch_size",
+            "Requests coalesced into one BatchDesigner dispatch.",
+            {1, 2, 4, 8, 16, 32, 64});
+        return t;
+    }();
+    return telemetry;
+}
+
+/**
+ * Bump autofsm_serve_requests_total{tenant,class,outcome}. Labeled
+ * registration can throw (slot exhaustion under hostile tenant
+ * cardinality); losing a counter tick must never take a request down
+ * with it.
+ */
+void
+countRequest(const std::string &tenant, RequestClass klass,
+             const char *outcome)
+{
+    try {
+        obs::globalMetrics()
+            .counter("autofsm_serve_requests_total",
+                     "Serve requests by tenant, class and outcome.",
+                     {{"class", requestClassName(klass)},
+                      {"outcome", outcome},
+                      {"tenant", tenant}})
+            .inc();
+    } catch (const std::exception &) {
+        // out of metric slots: drop the tick, keep serving
+    }
+}
+
+std::vector<int>
+resolveWorkloadTrace(const std::string &ref, uint64_t approxBranches)
+{
+    std::string name = ref;
+    WorkloadInput input = WorkloadInput::Train;
+    if (const size_t colon = ref.find(':'); colon != std::string::npos) {
+        name = ref.substr(0, colon);
+        const std::string which = ref.substr(colon + 1);
+        if (which == "train") {
+            input = WorkloadInput::Train;
+        } else if (which == "test") {
+            input = WorkloadInput::Test;
+        } else {
+            throw std::invalid_argument("traceRef '" + ref +
+                                        "': input must be train or test");
+        }
+    }
+    const std::shared_ptr<const BranchTrace> trace = cachedBranchTrace(
+        name, input, static_cast<size_t>(approxBranches));
+    std::vector<int> outcomes;
+    outcomes.reserve(trace->size());
+    for (const BranchRecord &record : *trace)
+        outcomes.push_back(record.taken ? 1 : 0);
+    return outcomes;
+}
+
+} // anonymous namespace
+
+void
+installWorkloadTraceResolver()
+{
+    setTraceRefResolver(&resolveWorkloadTrace);
+}
+
+AdmissionDecision
+AdmissionController::admit(const DesignRequest &request, size_t queueDepth,
+                           bool draining) const
+{
+    AdmissionDecision decision;
+    decision.options = request.options;
+    try {
+        request.validate();
+    } catch (const std::invalid_argument &e) {
+        decision.reason = errorKindName(ErrorKind::InvalidInput);
+        decision.detail = e.what();
+        return decision;
+    }
+    if (draining) {
+        // Retryable by taxonomy: another replica (or a later restart)
+        // can serve what this instance is refusing.
+        decision.reason = errorKindName(ErrorKind::BudgetExceeded);
+        decision.detail = "draining: not accepting new requests";
+        return decision;
+    }
+    if (queueDepth >= options_.maxQueueDepth) {
+        decision.reason = errorKindName(ErrorKind::BudgetExceeded);
+        decision.detail = "queue full (depth " +
+            std::to_string(queueDepth) + " >= " +
+            std::to_string(options_.maxQueueDepth) + ")";
+        return decision;
+    }
+    if (options_.applyClassBudgets && request.options.budget.unlimited())
+        decision.options.budget = budgetForClass(request.requestClass);
+    decision.admitted = true;
+    return decision;
+}
+
+/** One client connection; shared between its reader and the dispatcher. */
+struct Server::Connection
+{
+    Socket socket;
+    /** Serializes response frames (dispatcher vs metrics replies). */
+    std::mutex writeMutex;
+    std::thread reader;
+};
+
+Server::Server(ServeOptions options)
+    : options_(options), admission_(options)
+{
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+void
+Server::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_)
+        return;
+    listener_ = listenOn(options_.port, &port_);
+    pool_ = std::make_unique<ThreadPool>(options_.workers);
+    draining_ = false;
+    started_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    dispatchThread_ = std::thread([this] { dispatchLoop(); });
+}
+
+void
+Server::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_)
+            return;
+        started_ = false;
+        draining_ = true;
+    }
+    dispatchWake_.notify_all();
+    // Stop accepting first: shutdown unblocks the accept(2) call.
+    listener_.shutdownBoth();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // The dispatcher drains the queue — every admitted request is
+    // answered — before it exits.
+    if (dispatchThread_.joinable())
+        dispatchThread_.join();
+    // Now unblock and join the connection readers. Clients racing a
+    // request in right now get a draining rejection, not silence.
+    std::vector<std::shared_ptr<Connection>> connections;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        connections.swap(connections_);
+    }
+    for (const auto &connection : connections)
+        connection->socket.shutdownBoth();
+    for (const auto &connection : connections) {
+        if (connection->reader.joinable())
+            connection->reader.join();
+    }
+    listener_.close();
+    pool_.reset(); // drain-on-destruct
+    setQueueDepthGauge(0);
+}
+
+size_t
+Server::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queued_;
+}
+
+void
+Server::setQueueDepthGauge(size_t depth)
+{
+    serveTelemetry().queueDepth.set(static_cast<double>(depth));
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        try {
+            AUTOFSM_FAILPOINT("serve.accept");
+        } catch (const InjectedFault &) {
+            // Transient accept-path fault: count it and keep serving.
+            serveTelemetry().acceptFaults.inc();
+            continue;
+        }
+        Socket socket = acceptConnection(listener_);
+        if (!socket.valid())
+            return; // listener shut down
+        auto connection = std::make_shared<Connection>();
+        connection->socket = std::move(socket);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (draining_) {
+                // Raced shutdown: drop the socket; no admission happened.
+                connection->socket.shutdownBoth();
+                continue;
+            }
+            connections_.push_back(connection);
+        }
+        connection->reader = std::thread(
+            [this, connection] { connectionLoop(connection); });
+    }
+}
+
+void
+Server::connectionLoop(std::shared_ptr<Connection> connection)
+{
+    FrameDecoder decoder(options_.maxPayloadBytes);
+    std::string chunk;
+    while (recvSome(connection->socket, chunk)) {
+        try {
+            decoder.feed(chunk);
+            while (std::optional<Frame> frame = decoder.next())
+                handleFrame(connection, std::move(*frame));
+        } catch (const FrameError &e) {
+            // Framing is unrecoverable per connection: report, drop the
+            // connection, and the daemon keeps serving everyone else.
+            serveTelemetry().frameErrors.inc();
+            try {
+                std::lock_guard<std::mutex> lock(connection->writeMutex);
+                sendAll(connection->socket,
+                        encodeFrame(FrameType::Error, e.what()));
+            } catch (const NetError &) {
+            }
+            break;
+        }
+    }
+    connection->socket.shutdownBoth();
+}
+
+void
+Server::handleFrame(const std::shared_ptr<Connection> &connection,
+                    Frame frame)
+{
+    if (frame.type == FrameType::MetricsRequest) {
+        const std::string text = obs::renderPrometheus();
+        try {
+            std::lock_guard<std::mutex> lock(connection->writeMutex);
+            sendAll(connection->socket,
+                    encodeFrame(FrameType::MetricsResponse, text));
+        } catch (const NetError &) {
+            serveTelemetry().droppedResponses.inc();
+        }
+        return;
+    }
+    if (frame.type != FrameType::DesignRequest) {
+        try {
+            std::lock_guard<std::mutex> lock(connection->writeMutex);
+            sendAll(connection->socket,
+                    encodeFrame(FrameType::Error,
+                                std::string("unexpected frame type ") +
+                                    frameTypeName(frame.type)));
+        } catch (const NetError &) {
+        }
+        return;
+    }
+
+    DesignRequest request;
+    try {
+        request = designRequestFromJson(frame.payload);
+    } catch (const std::invalid_argument &e) {
+        DesignResponse response;
+        response.error = {"serve.parse",
+                          errorKindName(ErrorKind::InvalidInput), e.what()};
+        // Count before sending: a synchronous client that scrapes
+        // metrics right after its response must see its own tick.
+        countRequest(request.tenant, request.requestClass, "rejected");
+        sendResponse(connection, request, response);
+        return;
+    }
+
+    AdmissionDecision decision;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        decision = admission_.admit(request, queued_, draining_);
+        if (decision.admitted) {
+            QueuedRequest item;
+            item.request = request;
+            item.request.options = decision.options;
+            item.connection = connection;
+            queues_[static_cast<size_t>(request.requestClass)].push_back(
+                std::move(item));
+            ++queued_;
+            setQueueDepthGauge(queued_);
+        }
+    }
+    if (decision.admitted) {
+        dispatchWake_.notify_one();
+        return;
+    }
+    DesignResponse response;
+    response.id = request.id;
+    response.error = {"serve.admit", decision.reason, decision.detail};
+    countRequest(request.tenant, request.requestClass, "rejected");
+    sendResponse(connection, request, response);
+}
+
+void
+Server::dispatchLoop()
+{
+    for (;;) {
+        std::vector<QueuedRequest> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            dispatchWake_.wait(
+                lock, [this] { return queued_ > 0 || draining_; });
+            if (queued_ == 0) {
+                if (draining_)
+                    return; // drained: every admitted request answered
+                continue;
+            }
+            // Strict priority: interactive first, then batch, then bulk.
+            for (auto &queue : queues_) {
+                while (!queue.empty() &&
+                       batch.size() < options_.maxDispatchBatch) {
+                    batch.push_back(std::move(queue.front()));
+                    queue.pop_front();
+                    --queued_;
+                }
+                if (batch.size() >= options_.maxDispatchBatch)
+                    break;
+            }
+            setQueueDepthGauge(queued_);
+        }
+        serveTelemetry().dispatchBatch.observe(
+            static_cast<double>(batch.size()));
+
+        // Per-job dispatch failpoint: an injected fault fails that job
+        // with a structured (retryable) error instead of losing it.
+        std::vector<size_t> live;
+        std::vector<DesignRequest> requests;
+        live.reserve(batch.size());
+        requests.reserve(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+            try {
+                AUTOFSM_FAILPOINT("serve.dispatch");
+            } catch (const InjectedFault &e) {
+                DesignResponse response;
+                response.id = batch[i].request.id;
+                response.error = {"serve.dispatch",
+                                  errorKindName(ErrorKind::Injected),
+                                  e.what()};
+                noteOutcome(batch[i].request, response);
+                sendResponse(batch[i].connection, batch[i].request,
+                             response);
+                continue;
+            }
+            live.push_back(i);
+            requests.push_back(batch[i].request);
+        }
+        if (requests.empty())
+            continue;
+
+        BatchOptions batchOptions;
+        batchOptions.retry = options_.retry;
+        batchOptions.pool = pool_.get();
+        BatchDesigner designer({}, batchOptions);
+        const std::vector<BatchItemResult> results =
+            designer.designRequests(requests);
+        for (size_t r = 0; r < results.size(); ++r) {
+            const QueuedRequest &item = batch[live[r]];
+            const DesignResponse response =
+                designResponseFromItem(item.request, results[r]);
+            noteOutcome(item.request, response);
+            sendResponse(item.connection, item.request, response);
+        }
+    }
+}
+
+void
+Server::sendResponse(const std::shared_ptr<Connection> &connection,
+                     const DesignRequest &request,
+                     const DesignResponse &response)
+{
+    (void)request;
+    try {
+        std::lock_guard<std::mutex> lock(connection->writeMutex);
+        sendAll(connection->socket,
+                encodeFrame(FrameType::DesignResponse, toJson(response)));
+    } catch (const NetError &) {
+        serveTelemetry().droppedResponses.inc();
+    }
+}
+
+void
+Server::noteOutcome(const DesignRequest &request,
+                    const DesignResponse &response)
+{
+    const char *outcome = !response.ok ? "error"
+        : response.degraded          ? "degraded"
+                                     : "ok";
+    countRequest(request.tenant, request.requestClass, outcome);
+}
+
+} // namespace autofsm::serve

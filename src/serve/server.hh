@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The autofsm-serve daemon: design-as-a-service over framed TCP.
+ *
+ * Architecture (one process, all in-library so tests can drive it):
+ *
+ *     accept thread ──▶ connection threads (one per client)
+ *                             │  decode frames, admission control
+ *                             ▼
+ *                 bounded per-class queues (interactive ▶ batch ▶ bulk)
+ *                             │
+ *                             ▼
+ *          dispatcher thread ──▶ BatchDesigner on the shared ThreadPool
+ *                             │
+ *                             ▼
+ *               response frames (per-connection write mutex)
+ *
+ * Admission maps a request's class onto a FlowBudget (budgetForClass)
+ * unless the request carries its own finite budget, and rejects — with
+ * a structured DesignResponse, not a dropped connection — when the
+ * queue is at maxQueueDepth or the server is draining. The dispatcher
+ * pops interactive work first and coalesces up to maxDispatchBatch
+ * jobs per BatchDesigner call, so identical concurrent requests hit
+ * the batch memo.
+ *
+ * Shutdown is a drain, mirroring the ThreadPool's drain-on-destruct
+ * semantics: new admissions are refused immediately, every admitted
+ * request still gets its response, then connections close.
+ */
+
+#ifndef AUTOFSM_SERVE_SERVER_HH
+#define AUTOFSM_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/api.hh"
+#include "flow/batch.hh"
+#include "serve/frame.hh"
+#include "serve/net.hh"
+#include "support/thread_pool.hh"
+
+namespace autofsm::serve
+{
+
+/** Daemon knobs. */
+struct ServeOptions
+{
+    /** TCP port on 127.0.0.1; 0 picks a free one (see Server::port). */
+    uint16_t port = 0;
+    /** Design worker threads; 0 means ThreadPool::defaultThreadCount(). */
+    unsigned workers = 0;
+    /** Admission bound: queued-but-undispatched requests across classes. */
+    size_t maxQueueDepth = 256;
+    /** Frame payload cap handed to every connection's decoder. */
+    uint32_t maxPayloadBytes = kDefaultMaxPayloadBytes;
+    /** Max requests coalesced into one BatchDesigner dispatch. */
+    size_t maxDispatchBatch = 16;
+    /** Per-request retry policy of the dispatcher's BatchDesigner. */
+    RetryPolicy retry;
+    /**
+     * Map request classes onto budgets at admission (budgetForClass). A
+     * request carrying its own finite budget always keeps it; disabling
+     * this serves every unlimited request unlimited — the test path for
+     * comparing daemon artifacts against the direct library path.
+     */
+    bool applyClassBudgets = true;
+};
+
+/**
+ * The outcome of admission control for one request: either admitted,
+ * with the effective (possibly class-budgeted) options the design will
+ * run under, or refused with a machine-readable reason.
+ */
+struct AdmissionDecision
+{
+    bool admitted = false;
+    /** errorKindName-style reason when refused ("budget-exceeded"). */
+    std::string reason;
+    /** Human detail when refused ("queue full", "draining"). */
+    std::string detail;
+    /** The options the request will actually run under when admitted. */
+    FsmDesignOptions options;
+};
+
+/** The class → budget mapping plus the queue/drain refusals. */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const ServeOptions &options)
+        : options_(options)
+    {
+    }
+
+    /**
+     * Decide for @p request given the current @p queueDepth and whether
+     * the server is @p draining. Pure: no state is touched, so the unit
+     * test drives it without a socket in sight.
+     */
+    AdmissionDecision admit(const DesignRequest &request, size_t queueDepth,
+                            bool draining) const;
+
+  private:
+    ServeOptions options_;
+};
+
+/**
+ * The daemon proper. `start()` binds and spins up the accept,
+ * connection and dispatcher threads; `shutdown()` drains and joins.
+ * Both are idempotent. The destructor shuts down.
+ */
+class Server
+{
+  public:
+    explicit Server(ServeOptions options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind 127.0.0.1 and start serving. @throws NetError on bind. */
+    void start();
+
+    /** The bound port (useful with options.port = 0). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Drain and stop: refuse new admissions, answer everything already
+     * admitted, then close every connection and join every thread.
+     */
+    void shutdown();
+
+    /** Queued-but-undispatched requests right now (for tests/metrics). */
+    size_t queueDepth() const;
+
+  private:
+    struct Connection;
+
+    /** One admitted request waiting for the dispatcher. */
+    struct QueuedRequest
+    {
+        /** The request, options already mapped by admission. */
+        DesignRequest request;
+        std::shared_ptr<Connection> connection;
+    };
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Connection> connection);
+    void dispatchLoop();
+    void handleFrame(const std::shared_ptr<Connection> &connection,
+                     Frame frame);
+    void sendResponse(const std::shared_ptr<Connection> &connection,
+                      const DesignRequest &request,
+                      const DesignResponse &response);
+    void noteOutcome(const DesignRequest &request,
+                     const DesignResponse &response);
+    void setQueueDepthGauge(size_t depth);
+
+    ServeOptions options_;
+    AdmissionController admission_;
+    uint16_t port_ = 0;
+
+    Socket listener_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::thread acceptThread_;
+    std::thread dispatchThread_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable dispatchWake_;
+    /** One deque per RequestClass, indexed by its enum value. */
+    std::deque<QueuedRequest> queues_[3];
+    size_t queued_ = 0;
+    bool draining_ = false;
+    bool started_ = false;
+    std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+/**
+ * Install the synthetic branch-workload resolver as the process's
+ * TraceRefResolver: "compress" (or "compress:train" / "compress:test")
+ * resolves through the workloads trace cache to that benchmark's taken
+ * stream. Called by the daemon and bench mains; the flow library itself
+ * stays independent of the workloads layer.
+ */
+void installWorkloadTraceResolver();
+
+} // namespace autofsm::serve
+
+#endif // AUTOFSM_SERVE_SERVER_HH

@@ -1,0 +1,442 @@
+#include "support/json_parse.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace autofsm
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &what, size_t offset)
+{
+    throw std::invalid_argument("json: " + what + " at offset " +
+                                std::to_string(offset));
+}
+
+} // anonymous namespace
+
+/** The parser proper; friend of JsonValue so it can fill the variant. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    run()
+    {
+        JsonValue value = parseValue(0);
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document", pos_);
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input", pos_);
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'", pos_);
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal)
+            return false;
+        pos_ += literal.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep", pos_);
+        skipWhitespace();
+        const char c = peek();
+        switch (c) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (!consumeLiteral("null"))
+            fail("invalid literal", pos_);
+        return JsonValue();
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Bool;
+        if (consumeLiteral("true")) {
+            value.bool_ = true;
+        } else if (consumeLiteral("false")) {
+            value.bool_ = false;
+        } else {
+            fail("invalid literal", pos_);
+        }
+        return value;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+            fail("invalid number", start);
+        }
+        // Leading zeros are invalid JSON ("01"), a lone zero is fine.
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+            fail("leading zero in number", start);
+        }
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !(text_[pos_] >= '0' && text_[pos_] <= '9'))
+                fail("digit required after decimal point", pos_);
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !(text_[pos_] >= '0' && text_[pos_] <= '9'))
+                fail("digit required in exponent", pos_);
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Number;
+        value.number_ = std::strtod(token.c_str(), nullptr);
+        if (!std::isfinite(value.number_))
+            fail("number out of double range", start);
+        return value;
+    }
+
+    /** Append @p code point to @p out as UTF-8. */
+    static void
+    appendUtf8(std::string &out, uint32_t code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    uint32_t
+    parseHex4()
+    {
+        uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                fail("truncated \\u escape", pos_);
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape", pos_ - 1);
+        }
+        return code;
+    }
+
+    std::string
+    parseStringBody()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string", pos_);
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string", pos_ - 1);
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("truncated escape", pos_);
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                uint32_t code = parseHex4();
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    if (!consumeLiteral("\\u"))
+                        fail("unpaired surrogate", pos_);
+                    const uint32_t low = parseHex4();
+                    if (low < 0xdc00 || low > 0xdfff)
+                        fail("invalid low surrogate", pos_);
+                    code = 0x10000 + ((code - 0xd800) << 10) +
+                        (low - 0xdc00);
+                } else if (code >= 0xdc00 && code <= 0xdfff) {
+                    fail("unpaired surrogate", pos_);
+                }
+                appendUtf8(out, code);
+                break;
+              }
+              default: fail("invalid escape", pos_ - 1);
+            }
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::String;
+        value.string_ = parseStringBody();
+        return value;
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        expect('[');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Array;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            value.items_.push_back(parseValue(depth + 1));
+            skipWhitespace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return value;
+            }
+            fail("expected ',' or ']'", pos_);
+        }
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        expect('{');
+        JsonValue value;
+        value.kind_ = JsonValue::Kind::Object;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            skipWhitespace();
+            std::string key = parseStringBody();
+            for (const auto &member : value.members_) {
+                if (member.first == key)
+                    fail("duplicate object key '" + key + "'", pos_);
+            }
+            skipWhitespace();
+            expect(':');
+            value.members_.emplace_back(std::move(key),
+                                        parseValue(depth + 1));
+            skipWhitespace();
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return value;
+            }
+            fail("expected ',' or '}'", pos_);
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return JsonParser(text).run();
+}
+
+namespace
+{
+
+[[noreturn]] void
+kindMismatch(const char *wanted, JsonValue::Kind got)
+{
+    throw std::invalid_argument(std::string("json: expected ") + wanted +
+                                ", got " + jsonKindName(got));
+}
+
+} // anonymous namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        kindMismatch("bool", kind_);
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        kindMismatch("number", kind_);
+    return number_;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    const double value = asNumber();
+    if (value != std::floor(value) || value < -9.007199254740992e15 ||
+        value > 9.007199254740992e15) {
+        throw std::invalid_argument(
+            "json: number is not an exactly representable integer");
+    }
+    return static_cast<int64_t>(value);
+}
+
+uint64_t
+JsonValue::asUint() const
+{
+    const int64_t value = asInt();
+    if (value < 0)
+        throw std::invalid_argument("json: negative where unsigned needed");
+    return static_cast<uint64_t>(value);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        kindMismatch("string", kind_);
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        kindMismatch("array", kind_);
+    return items_;
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        kindMismatch("object", kind_);
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &member : members()) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const char *
+jsonKindName(JsonValue::Kind kind)
+{
+    switch (kind) {
+      case JsonValue::Kind::Null: return "null";
+      case JsonValue::Kind::Bool: return "bool";
+      case JsonValue::Kind::Number: return "number";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Array: return "array";
+      case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+} // namespace autofsm
