@@ -57,6 +57,12 @@ struct BenchOptions
      * support request replay; empty means the bench's synthetic load.
      */
     std::string requestFile;
+    /**
+     * --trace-out=FILE: benches that support it enable the global
+     * tracer and write the recorded spans as Chrome trace-event JSON
+     * (obs::renderTraceEvents); empty means no trace export.
+     */
+    std::string traceOut;
 
     /** positional[i] as long, or @p fallback when absent. */
     long
@@ -101,7 +107,7 @@ parseBenchArgs(int argc, char **argv, const char *usage)
                       << "  [--threads=N] [--seed=N]\n"
                          "  [--metrics-out=FILE] "
                          "[--metrics-format=json|prom]\n"
-                         "  [--request-file=FILE]\n";
+                         "  [--request-file=FILE] [--trace-out=FILE]\n";
             std::exit(0);
         } else if (consumeFlag(arg, "--threads=", value)) {
             options.threads = static_cast<unsigned>(
@@ -118,6 +124,8 @@ parseBenchArgs(int argc, char **argv, const char *usage)
             options.metricsFormatSet = true;
         } else if (consumeFlag(arg, "--request-file=", value)) {
             options.requestFile = std::string(value);
+        } else if (consumeFlag(arg, "--trace-out=", value)) {
+            options.traceOut = std::string(value);
         } else if (!arg.empty() && arg[0] == '-' &&
                    !(arg.size() > 1 &&
                      (std::isdigit(static_cast<unsigned char>(arg[1])) !=

@@ -13,8 +13,17 @@
  * schema the serve daemon speaks) is run through the same
  * BatchDesigner::designRequests engine the daemon dispatches to, with
  * the workload trace resolver installed so traceRef requests resolve.
+ * Adding --trace-out=FILE records the replay's spans and writes them as
+ * Chrome trace-event JSON.
+ *
+ * The synthetic run also measures the tracing tax and writes it to
+ * [json_out] (default BENCH_serve.json) for the CI gate: one batch with
+ * the tracer off vs on, plus a microbenchmark of the disabled-SpanScope
+ * cost — `offOverheadFraction` estimates what the recorded span count
+ * costs a tracing-off run, which the acceptance bar holds at <= 2%.
  *
  * Usage: bench_flow_batch [branches_per_run] [max_branches_per_benchmark]
+ *                         [json_out]
  */
 
 #include <chrono>
@@ -27,7 +36,10 @@
 
 #include "bpred/trainer.hh"
 #include "flow/batch.hh"
+#include "obs/export.hh"
+#include "obs/span.hh"
 #include "serve/server.hh"
+#include "support/json.hh"
 #include "support/stats.hh"
 #include "support/thread_pool.hh"
 #include "workloads/trace_cache.hh"
@@ -67,12 +79,30 @@ replayRequestFile(const bench::BenchOptions &args)
     }
 
     serve::installWorkloadTraceResolver();
+    if (!args.traceOut.empty()) {
+        obs::globalTracer().clear();
+        obs::globalTracer().enable(true);
+    }
     BatchOptions batch;
     batch.threads = args.threads;
     BatchDesigner designer({}, batch);
     const auto start = std::chrono::steady_clock::now();
     const auto results = designer.designRequests(requests);
     const double wall_ms = millisSince(start);
+    if (!args.traceOut.empty()) {
+        obs::globalTracer().enable(false);
+        const std::vector<obs::SpanRecord> spans =
+            obs::globalTracer().drain();
+        std::ofstream trace_out(args.traceOut);
+        if (!trace_out) {
+            std::cerr << "cannot write " << args.traceOut << "\n";
+            return 1;
+        }
+        obs::renderTraceEvents(trace_out, spans);
+        trace_out << "\n";
+        std::cout << spans.size() << " spans -> " << args.traceOut
+                  << "\n";
+    }
 
     size_t failures = 0;
     for (size_t i = 0; i < results.size(); ++i) {
@@ -105,12 +135,14 @@ int
 main(int argc, char **argv)
 {
     const auto args = bench::parseBenchArgs(
-        argc, argv, "[branches_per_run] [max_branches_per_benchmark]");
+        argc, argv,
+        "[branches_per_run] [max_branches_per_benchmark] [json_out]");
     if (!args.requestFile.empty())
         return replayRequestFile(args);
     const size_t branches_per_run =
         static_cast<size_t>(args.positionalOr(0, 400000));
     const int max_branches = static_cast<int>(args.positionalOr(1, 12));
+    const std::string json_out = args.positionalOr(2, "BENCH_serve.json");
 
     CustomTrainingOptions training;
     training.maxCustomBranches = max_branches;
@@ -216,6 +248,98 @@ main(int argc, char **argv)
     std::cout << "\nper-item design time: p50 " << std::setprecision(2)
               << q.p50 << " ms, p90 " << q.p90 << " ms, p99 " << q.p99
               << " ms over " << item_ms.size() << " items\n";
+
+    // --- Tracing tax: one batch with the tracer off, one with it on.
+    obs::Tracer &tracer = obs::globalTracer();
+    tracer.enable(false);
+    tracer.clear();
+    BatchOptions overhead_batch;
+    overhead_batch.threads = 4;
+    overhead_batch.memoize = false;
+
+    const auto off_start = std::chrono::steady_clock::now();
+    const auto off_results =
+        BatchDesigner(design, overhead_batch).designAll(models);
+    const double off_ms = millisSince(off_start);
+
+    tracer.enable(true);
+    const auto on_start = std::chrono::steady_clock::now();
+    const auto on_results =
+        BatchDesigner(design, overhead_batch).designAll(models);
+    const double on_ms = millisSince(on_start);
+    tracer.enable(false);
+    const std::vector<obs::SpanRecord> spans = tracer.drain();
+    if (!args.traceOut.empty()) {
+        std::ofstream trace_out(args.traceOut);
+        if (!trace_out) {
+            std::cerr << "cannot write " << args.traceOut << "\n";
+            return 1;
+        }
+        obs::renderTraceEvents(trace_out, spans);
+        trace_out << "\n";
+        std::cout << spans.size() << " spans -> " << args.traceOut
+                  << "\n";
+    }
+
+    bool overhead_identical =
+        off_results.size() == serial.size() &&
+        on_results.size() == serial.size();
+    for (size_t i = 0; overhead_identical && i < serial.size(); ++i) {
+        overhead_identical = off_results[i].ok && on_results[i].ok &&
+            off_results[i].flow.design.fsm.identical(serial[i].fsm) &&
+            on_results[i].flow.design.fsm.identical(serial[i].fsm);
+    }
+
+    // What tracing-off actually costs per instrumentation site: a
+    // disabled SpanScope still reads the clock twice. Amortize it over
+    // many iterations on a private, disabled tracer.
+    obs::Tracer disabled;
+    constexpr int kSpanIterations = 1000000;
+    const auto span_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSpanIterations; ++i)
+        obs::SpanScope scope(&disabled, "bench.disabled");
+    const double disabled_span_nanos =
+        millisSince(span_start) * 1e6 / kSpanIterations;
+
+    // Projected tracing-off tax on this batch: every span the traced
+    // run recorded corresponds to one disabled SpanScope in the off
+    // run.
+    const double off_overhead_fraction = off_ms > 0.0
+        ? static_cast<double>(spans.size()) * disabled_span_nanos /
+            (off_ms * 1e6)
+        : 0.0;
+    const double trace_overhead =
+        off_ms > 0.0 ? (on_ms - off_ms) / off_ms : 0.0;
+
+    std::cout << "\ntracing tax: off " << std::setprecision(1) << off_ms
+              << " ms, on " << on_ms << " ms (" << std::setprecision(2)
+              << trace_overhead * 100.0 << "% recording), "
+              << spans.size() << " spans, disabled span "
+              << disabled_span_nanos << " ns => off-path overhead "
+              << off_overhead_fraction * 100.0 << "%\n";
+
+    std::ofstream report(json_out);
+    if (!report) {
+        std::cerr << "FATAL: cannot write " << json_out << "\n";
+        return 1;
+    }
+    JsonWriter json(report);
+    json.beginObject();
+    json.key("bench").value("flow-batch-trace");
+    json.key("offMs").value(off_ms);
+    json.key("onMs").value(on_ms);
+    json.key("traceOverhead").value(trace_overhead);
+    json.key("spans").value(static_cast<uint64_t>(spans.size()));
+    json.key("disabledSpanNanos").value(disabled_span_nanos);
+    json.key("offOverheadFraction").value(off_overhead_fraction);
+    json.key("identical").value(overhead_identical);
+    json.endObject();
+    report << "\n";
+    if (!overhead_identical) {
+        std::cerr << "FATAL: tracing on/off runs diverged from the "
+                     "serial pipeline\n";
+        return 1;
+    }
 
     bench::exportMetricsIfRequested(args);
     return 0;

@@ -430,6 +430,10 @@ toJson(const DesignRequest &request)
     }
     json.key("options");
     renderOptions(json, request.options);
+    // Emitted only when set so pre-tracing servers keep accepting the
+    // common case under their strict parsers.
+    if (request.trace)
+        json.key("trace").value(true);
     json.endObject();
     return out.str();
 }
@@ -459,6 +463,21 @@ toJson(const DesignResponse &response)
     json.endArray();
     json.key("stages");
     renderStageSummaries(json, response.stages);
+    if (!response.trace.empty()) {
+        json.key("trace");
+        json.beginArray();
+        for (const obs::SpanRecord &span : response.trace) {
+            json.beginObject();
+            json.key("id").value(span.id);
+            json.key("parent").value(span.parent);
+            json.key("name").value(span.name);
+            json.key("startMillis").value(span.startMillis);
+            json.key("millis").value(span.durationMillis);
+            json.key("thread").value(span.thread);
+            json.endObject();
+        }
+        json.endArray();
+    }
     if (!response.ok) {
         json.key("error");
         json.beginObject();
@@ -561,7 +580,8 @@ designRequestFromJson(const JsonValue &value)
 {
     rejectUnknownFields(value,
                         {"id", "tenant", "class", "traceRef",
-                         "traceBranches", "outcomes", "model", "options"},
+                         "traceBranches", "outcomes", "model", "options",
+                         "trace"},
                         "DesignRequest");
     DesignRequest request;
     if (const JsonValue *v = value.find("id"))
@@ -595,6 +615,8 @@ designRequestFromJson(const JsonValue &value)
         request.model = modelFromJson(*v);
     if (const JsonValue *v = value.find("options"))
         request.options = fsmDesignOptionsFromJson(*v);
+    if (const JsonValue *v = value.find("trace"))
+        request.trace = v->asBool();
     request.validate();
     return request;
 }
@@ -607,7 +629,7 @@ designResponseFromJson(const JsonValue &value)
                          "statesHopcroft", "statesFinal", "coverCubes",
                          "designMillis", "attempts", "fromMemo",
                          "fromCache", "degraded", "fallbacks", "stages",
-                         "error"},
+                         "trace", "error"},
                         "DesignResponse");
     DesignResponse response;
     if (const JsonValue *v = value.find("id"))
@@ -641,6 +663,28 @@ designResponseFromJson(const JsonValue &value)
     if (const JsonValue *v = value.find("stages")) {
         for (const JsonValue &stage : v->items())
             response.stages.push_back(stageSummaryFromJson(stage));
+    }
+    if (const JsonValue *v = value.find("trace")) {
+        for (const JsonValue &span : v->items()) {
+            rejectUnknownFields(span,
+                                {"id", "parent", "name", "startMillis",
+                                 "millis", "thread"},
+                                "trace span");
+            obs::SpanRecord record;
+            if (const JsonValue *s = span.find("id"))
+                record.id = s->asUint();
+            if (const JsonValue *s = span.find("parent"))
+                record.parent = s->asUint();
+            if (const JsonValue *s = span.find("name"))
+                record.name = s->asString();
+            if (const JsonValue *s = span.find("startMillis"))
+                record.startMillis = s->asNumber();
+            if (const JsonValue *s = span.find("millis"))
+                record.durationMillis = s->asNumber();
+            if (const JsonValue *s = span.find("thread"))
+                record.thread = static_cast<uint32_t>(s->asUint());
+            response.trace.push_back(std::move(record));
+        }
     }
     if (const JsonValue *v = value.find("error")) {
         rejectUnknownFields(*v, {"stage", "kind", "detail"}, "error");

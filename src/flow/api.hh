@@ -34,6 +34,7 @@
 
 #include "flow/design_flow.hh"
 #include "fsmgen/designer.hh"
+#include "obs/trace_context.hh"
 #include "support/json_parse.hh"
 
 namespace autofsm
@@ -91,6 +92,20 @@ struct DesignRequest
     std::optional<MarkovModel> model;
 
     FsmDesignOptions options;
+
+    /**
+     * Opt into span tracing: the response carries the request's span
+     * tree in DesignResponse::trace. Traced requests are never deduped
+     * against identical batch items (their stages must actually run).
+     */
+    bool trace = false;
+
+    /**
+     * The request's observability identity, minted at admission by the
+     * serve daemon. In-process metadata — never serialized; wire
+     * requests always start with a fresh context.
+     */
+    obs::TraceContext obsContext;
 
     /**
      * Check structural validity: exactly one source, outcome values in
@@ -153,6 +168,13 @@ struct DesignResponse
     std::vector<std::string> fallbacks;
     /** Per-stage wall-clock and size metrics. */
     std::vector<StageSummary> stages;
+
+    /**
+     * The request's span tree (flat records, parent-linked) when the
+     * request opted in with DesignRequest::trace. Feed to
+     * obs::renderTraceEvents for the Chrome trace-event form.
+     */
+    std::vector<obs::SpanRecord> trace;
 
     /** The classified failure when !ok. */
     DesignError error;

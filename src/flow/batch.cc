@@ -10,6 +10,7 @@
 #include "fsmgen/profile.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/trace_context.hh"
 #include "support/failpoint.hh"
 #include "support/thread_pool.hh"
 
@@ -159,6 +160,12 @@ BatchDesigner::designRequests(const std::vector<DesignRequest> &requests)
     stats_ = BatchStats();
     stats_.items = requests.size();
 
+    // The caller's tracer (the daemon's private one under a
+    // TracerBinding, globalTracer() otherwise). Pool workers do not
+    // inherit the caller's thread-local binding, so each fanned-out
+    // lambda re-binds it explicitly.
+    obs::Tracer *const tracer = obs::currentTracer();
+
     auto runParallel = [this](size_t count, auto &&fn) {
         if (options_.pool != nullptr)
             parallelForOn(*options_.pool, count, fn);
@@ -172,6 +179,13 @@ BatchDesigner::designRequests(const std::vector<DesignRequest> &requests)
     std::vector<BatchItemResult> results(requests.size());
     std::vector<std::optional<MarkovModel>> models(requests.size());
     runParallel(requests.size(), [&](size_t i) {
+        obs::TracerBinding bind(tracer);
+        obs::TraceContextScope context(requests[i].obsContext);
+        std::optional<obs::SpanScope> span;
+        if (requests[i].obsContext.sampled) {
+            span.emplace(tracer, "batch.resolve",
+                         requests[i].obsContext.rootSpan);
+        }
         try {
             models[i] = resolveRequestModel(requests[i]);
         } catch (...) {
@@ -198,6 +212,13 @@ BatchDesigner::designRequests(const std::vector<DesignRequest> &requests)
             representative[i] = i;
             if (!models[i])
                 continue; // resolution failed; nothing to design
+            if (requests[i].trace) {
+                // A traced item must execute its own flow stages (its
+                // spans are the deliverable), so it neither reuses a
+                // representative nor serves as one.
+                unique.push_back(i);
+                continue;
+            }
             const uint64_t hash = markovContentHash(*models[i]) ^
                 mix64(std::hash<std::string>{}(optionKeys[i]));
             auto &bucket = byHash[hash];
@@ -223,7 +244,7 @@ BatchDesigner::designRequests(const std::vector<DesignRequest> &requests)
         }
     }
 
-    obs::SpanScope batch_span(&obs::globalTracer(), "batch.designAll");
+    obs::SpanScope batch_span(tracer, "batch.designAll");
     const uint64_t batch_span_id = batch_span.id();
     const auto batch_start = std::chrono::steady_clock::now();
 
@@ -231,10 +252,15 @@ BatchDesigner::designRequests(const std::vector<DesignRequest> &requests)
     // options, with the retry policy.
     runParallel(unique.size(), [&](size_t u) {
         const size_t i = unique[u];
+        obs::TracerBinding bind(tracer);
+        obs::TraceContextScope context(requests[i].obsContext);
         // Items fan out across pool threads, so the per-item span
-        // names its parent explicitly to stay under the batch root.
-        obs::SpanScope item_span(&obs::globalTracer(), "batch.item",
-                                 batch_span_id);
+        // names its parent explicitly: the owning request's root span
+        // when one exists, else the shared batch root.
+        const uint64_t request_root = requests[i].obsContext.rootSpan;
+        obs::SpanScope item_span(
+            tracer, "batch.item",
+            request_root != 0 ? request_root : batch_span_id);
         batchTelemetry().queueWait.observe(
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - batch_start)

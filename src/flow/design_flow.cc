@@ -168,7 +168,7 @@ FlowTrace::toJson() const
 FlowResult
 DesignFlow::run(const MarkovModel &model) const
 {
-    obs::SpanScope root(&obs::globalTracer(), "flow.run");
+    obs::SpanScope root(obs::currentTracer(), "flow.run");
     const Deadline deadline(options_.budget.deadlineMillis);
     return runStages(model, FlowTrace(), deadline);
 }
@@ -176,9 +176,9 @@ DesignFlow::run(const MarkovModel &model) const
 FlowResult
 DesignFlow::runOnTrace(const std::vector<int> &trace) const
 {
-    obs::SpanScope root(&obs::globalTracer(), "flow.run");
+    obs::SpanScope root(obs::currentTracer(), "flow.run");
     const Deadline deadline(options_.budget.deadlineMillis);
-    obs::SpanScope span(&obs::globalTracer(), "flow.markov");
+    obs::SpanScope span(obs::currentTracer(), "flow.markov");
     AUTOFSM_FAILPOINT("flow.markov");
     MarkovModel model = options_.flatProfiling
         ? trainMarkovModel(trace, options_.order)
@@ -273,7 +273,7 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace,
             std::to_string(options_.order));
     }
 
-    obs::Tracer *tracer = &obs::globalTracer();
+    obs::Tracer *tracer = obs::currentTracer();
     flowTelemetry().runs.inc();
 
     FlowResult out;

@@ -64,7 +64,7 @@ struct StageRecord
  * Since the telemetry subsystem landed this is a thin per-run view over
  * the span tree: each record's wall-clock is the measured duration of
  * the corresponding `obs::SpanScope` the flow opened for that stage
- * (spans also stream into `obs::globalTracer()` when tracing is on).
+ * (spans also stream into `obs::currentTracer()` when tracing is on).
  * The trace itself stays a plain value so results remain comparable and
  * serializable with telemetry compiled out.
  */

@@ -264,4 +264,38 @@ spansToJson(const std::vector<SpanRecord> &spans)
     return out.str();
 }
 
+void
+renderTraceEvents(std::ostream &out, const std::vector<SpanRecord> &spans)
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("traceEvents").beginArray();
+    for (const SpanRecord &span : spans) {
+        json.beginObject();
+        json.key("name").value(span.name);
+        json.key("cat").value("autofsm");
+        json.key("ph").value("X");
+        json.key("ts").value(span.startMillis * 1000.0);
+        json.key("dur").value(span.durationMillis * 1000.0);
+        json.key("pid").value(uint64_t{1});
+        json.key("tid").value(span.thread);
+        json.key("args").beginObject();
+        json.key("id").value(span.id);
+        json.key("parent").value(span.parent);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.key("displayTimeUnit").value("ms");
+    json.endObject();
+}
+
+std::string
+traceEventsToJson(const std::vector<SpanRecord> &spans)
+{
+    std::ostringstream out;
+    renderTraceEvents(out, spans);
+    return out.str();
+}
+
 } // namespace autofsm::obs

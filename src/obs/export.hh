@@ -59,6 +59,18 @@ void renderSpansJson(std::ostream &out,
                      const std::vector<SpanRecord> &spans);
 std::string spansToJson(const std::vector<SpanRecord> &spans);
 
+/**
+ * Render finished spans in the Chrome trace-event format, loadable in
+ * chrome://tracing and Perfetto: {"traceEvents":[...],
+ * "displayTimeUnit":"ms"}, one complete event ("ph":"X") per span with
+ * ts/dur in microseconds, pid 1 and tid = the span's recording-thread
+ * ordinal. Span and parent ids ride in "args" so tooling can rebuild
+ * the tree.
+ */
+void renderTraceEvents(std::ostream &out,
+                       const std::vector<SpanRecord> &spans);
+std::string traceEventsToJson(const std::vector<SpanRecord> &spans);
+
 } // namespace autofsm::obs
 
 #endif // AUTOFSM_OBS_EXPORT_HH

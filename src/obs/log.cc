@@ -1,0 +1,198 @@
+#include "obs/log.hh"
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+
+#include "obs/trace_context.hh"
+#include "support/json.hh"
+
+namespace autofsm::obs
+{
+
+namespace
+{
+
+int64_t
+epochMillisNow()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+int64_t
+steadyMillisNow()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // anonymous namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+Logger::setSink(std::ostream *sink)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink_ = sink;
+}
+
+void
+Logger::setMinLevel(LogLevel level)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    minLevel_ = level;
+}
+
+void
+Logger::setRateLimitPerSecond(uint32_t maxLines)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rateLimitPerSecond_ = maxLines;
+}
+
+void
+Logger::log(LogLevel level, std::string_view site,
+            std::string_view message,
+            std::initializer_list<LogField> fields)
+{
+#ifdef AUTOFSM_NO_TELEMETRY
+    (void)level;
+    (void)site;
+    (void)message;
+    (void)fields;
+#else
+    // Correlation is read off this thread before taking the lock.
+    const TraceContext *context = currentTraceContext();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (level < minLevel_)
+        return;
+
+    uint64_t suppressed_note = 0;
+    if (rateLimitPerSecond_ > 0 && level != LogLevel::Error) {
+        SiteState &state = sites_[std::string(site)];
+        const int64_t now = steadyMillisNow();
+        if (now - state.windowStartMillis >= 1000) {
+            state.windowStartMillis = now;
+            state.linesThisWindow = 0;
+        }
+        if (state.linesThisWindow >= rateLimitPerSecond_) {
+            ++state.pendingSuppressed;
+            ++suppressed_;
+            return;
+        }
+        ++state.linesThisWindow;
+        suppressed_note = state.pendingSuppressed;
+        state.pendingSuppressed = 0;
+    }
+
+    std::ostringstream line;
+    JsonWriter json(line);
+    json.beginObject();
+    json.key("ts").value(epochMillisNow());
+    json.key("level").value(logLevelName(level));
+    json.key("site").value(site);
+    json.key("msg").value(message);
+    if (context != nullptr) {
+        json.key("requestId").value(context->requestId);
+        if (!context->tenant.empty())
+            json.key("tenant").value(context->tenant);
+        if (!context->requestClass.empty())
+            json.key("class").value(context->requestClass);
+    }
+    for (const LogField &field : fields) {
+        json.key(field.key_);
+        switch (field.kind_) {
+          case LogField::Kind::Text: json.value(field.text_); break;
+          case LogField::Kind::Int: json.value(field.int_); break;
+          case LogField::Kind::Uint: json.value(field.uint_); break;
+          case LogField::Kind::Real: json.value(field.real_); break;
+          case LogField::Kind::Flag: json.value(field.flag_); break;
+        }
+    }
+    if (suppressed_note > 0)
+        json.key("suppressed").value(suppressed_note);
+    json.endObject();
+
+    std::ostream &out = sink_ != nullptr ? *sink_ : std::cerr;
+    out << line.str() << '\n';
+    out.flush();
+#endif
+}
+
+uint64_t
+Logger::suppressedLines() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return suppressed_;
+}
+
+Logger &
+globalLogger()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+logDebug(std::string_view site, std::string_view message,
+         std::initializer_list<LogField> fields)
+{
+    globalLogger().log(LogLevel::Debug, site, message, fields);
+}
+
+void
+logInfo(std::string_view site, std::string_view message,
+        std::initializer_list<LogField> fields)
+{
+    globalLogger().log(LogLevel::Info, site, message, fields);
+}
+
+void
+logWarn(std::string_view site, std::string_view message,
+        std::initializer_list<LogField> fields)
+{
+    globalLogger().log(LogLevel::Warn, site, message, fields);
+}
+
+void
+logError(std::string_view site, std::string_view message,
+         std::initializer_list<LogField> fields)
+{
+    globalLogger().log(LogLevel::Error, site, message, fields);
+}
+
+std::string
+buildInfo()
+{
+    std::string info;
+#ifdef NDEBUG
+    info = "release";
+#else
+    info = "debug";
+#endif
+#ifdef AUTOFSM_NO_TELEMETRY
+    info += " no-telemetry";
+#endif
+#ifdef __VERSION__
+    info += " ";
+    info += __VERSION__;
+#endif
+    return info;
+}
+
+} // namespace autofsm::obs

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Structured JSON-lines logging.
+ *
+ * One log line is one strict-JSON object on one line:
+ *
+ *     {"ts":1754650000123,"level":"warn","site":"serve.frame",
+ *      "msg":"...","requestId":7,"tenant":"smoke",...}
+ *
+ * Fields, in order: epoch-milliseconds timestamp, level, the emitting
+ * site (a stable dotted identifier like "serve.accept" — the unit of
+ * rate limiting), the human message, then request correlation pulled
+ * from the thread's `currentTraceContext()` (requestId / tenant /
+ * class, present whenever a request context is bound), then any
+ * caller-supplied typed fields, and finally a "suppressed" count when
+ * the site's rate limiter dropped lines since the previous emission.
+ *
+ * Rate limiting is per site over one-second windows: at most
+ * `rateLimitPerSecond` lines per site per window; excess lines are
+ * counted, not written, and the count is attached to the next line that
+ * does get through. Errors are never suppressed.
+ *
+ * The default sink is stderr (stdout stays reserved for program
+ * output, e.g. the daemon's "listening on" line). Tests inject an
+ * ostringstream. With `-DAUTOFSM_NO_TELEMETRY` logging compiles to
+ * no-ops like the rest of the obs layer.
+ */
+
+#ifndef AUTOFSM_OBS_LOG_HH
+#define AUTOFSM_OBS_LOG_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace autofsm::obs
+{
+
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Stable lower-case name of @p level ("debug", ...). */
+const char *logLevelName(LogLevel level);
+
+/** One typed key/value pair attached to a log line. */
+class LogField
+{
+  public:
+    LogField(std::string key, std::string value)
+        : key_(std::move(key)), kind_(Kind::Text),
+          text_(std::move(value))
+    {
+    }
+    LogField(std::string key, const char *value)
+        : LogField(std::move(key), std::string(value))
+    {
+    }
+    LogField(std::string key, int64_t value)
+        : key_(std::move(key)), kind_(Kind::Int), int_(value)
+    {
+    }
+    LogField(std::string key, int value)
+        : LogField(std::move(key), int64_t{value})
+    {
+    }
+    LogField(std::string key, uint64_t value)
+        : key_(std::move(key)), kind_(Kind::Uint), uint_(value)
+    {
+    }
+    LogField(std::string key, unsigned value)
+        : LogField(std::move(key), uint64_t{value})
+    {
+    }
+    LogField(std::string key, double value)
+        : key_(std::move(key)), kind_(Kind::Real), real_(value)
+    {
+    }
+    LogField(std::string key, bool value)
+        : key_(std::move(key)), kind_(Kind::Flag), flag_(value)
+    {
+    }
+
+  private:
+    friend class Logger;
+
+    enum class Kind
+    {
+        Text,
+        Int,
+        Uint,
+        Real,
+        Flag,
+    };
+
+    std::string key_;
+    Kind kind_ = Kind::Text;
+    std::string text_;
+    int64_t int_ = 0;
+    uint64_t uint_ = 0;
+    double real_ = 0.0;
+    bool flag_ = false;
+};
+
+/**
+ * The logger proper. One global instance (globalLogger()); tests may
+ * create private ones. Thread-safe: composition happens off-lock, the
+ * sink write is serialized.
+ */
+class Logger
+{
+  public:
+    Logger() = default;
+
+    Logger(const Logger &) = delete;
+    Logger &operator=(const Logger &) = delete;
+
+    /** Redirect output (nullptr restores the stderr default). */
+    void setSink(std::ostream *sink);
+
+    /** Drop lines below @p level (default Info). */
+    void setMinLevel(LogLevel level);
+
+    /** Max lines per site per second; 0 disables limiting (default 50). */
+    void setRateLimitPerSecond(uint32_t maxLines);
+
+    void log(LogLevel level, std::string_view site,
+             std::string_view message,
+             std::initializer_list<LogField> fields = {});
+
+    /** Total lines dropped by the per-site rate limiter so far. */
+    uint64_t suppressedLines() const;
+
+  private:
+    struct SiteState
+    {
+        int64_t windowStartMillis = 0;
+        uint32_t linesThisWindow = 0;
+        uint64_t pendingSuppressed = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::ostream *sink_ = nullptr;
+    LogLevel minLevel_ = LogLevel::Info;
+    uint32_t rateLimitPerSecond_ = 50;
+    std::unordered_map<std::string, SiteState> sites_;
+    uint64_t suppressed_ = 0;
+};
+
+/** The process-wide logger every subsystem reports into. */
+Logger &globalLogger();
+
+/** @name Convenience wrappers over globalLogger(). */
+/// @{
+void logDebug(std::string_view site, std::string_view message,
+              std::initializer_list<LogField> fields = {});
+void logInfo(std::string_view site, std::string_view message,
+             std::initializer_list<LogField> fields = {});
+void logWarn(std::string_view site, std::string_view message,
+             std::initializer_list<LogField> fields = {});
+void logError(std::string_view site, std::string_view message,
+              std::initializer_list<LogField> fields = {});
+/// @}
+
+/** Compact build description for startup lines ("release g++ 13.2"). */
+std::string buildInfo();
+
+} // namespace autofsm::obs
+
+#endif // AUTOFSM_OBS_LOG_HH

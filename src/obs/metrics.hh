@@ -282,6 +282,18 @@ defaultLatencyBucketsMillis()
             5.0,  10.0,  25.0, 50.0, 100.0, 250.0, 1000.0, 5000.0};
 }
 
+/**
+ * The request-level bucket ladder (seconds), Prometheus-convention
+ * units for the serve SLO histograms (`*_seconds` families). Spans the
+ * sub-millisecond fast path out to the bulk-class tail.
+ */
+inline std::vector<double>
+defaultLatencyBucketsSeconds()
+{
+    return {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+            0.1,    0.25,  0.5,    1.0,   2.5,  5.0,   15.0};
+}
+
 // --- hot-path implementations ------------------------------------------
 
 inline void

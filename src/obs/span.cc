@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 namespace autofsm::obs
 {
@@ -10,6 +11,8 @@ namespace
 {
 
 std::atomic<uint64_t> next_tracer_id{1};
+
+thread_local Tracer *t_bound_tracer = nullptr;
 
 } // anonymous namespace
 
@@ -32,6 +35,7 @@ Tracer::stateForThread() const
         entry = std::make_unique<ThreadState>();
         entry->buffer = std::make_shared<Buffer>();
         std::lock_guard<std::mutex> lock(mutex_);
+        entry->ordinal = static_cast<uint32_t>(buffers_.size());
         buffers_.push_back(entry->buffer);
     }
     return *entry;
@@ -52,6 +56,56 @@ Tracer::currentSpan() const
     return state.stack.empty() ? 0 : state.stack.back();
 }
 
+uint64_t
+Tracer::openSpan(std::string_view name, uint64_t parent)
+{
+    if (!enabled())
+        return 0;
+    // Resolve this thread's state before taking mutex_: creating the
+    // state on first use locks mutex_ itself.
+    const ThreadState &state = stateForThread();
+    OpenSpan span;
+    span.name = std::string(name);
+    span.parent = parent;
+    span.start = std::chrono::steady_clock::now();
+    span.startMillis = millisSinceEpoch();
+    span.thread = state.ordinal;
+    const uint64_t id =
+        nextSpanId_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_.emplace(id, std::move(span));
+    return id;
+}
+
+void
+Tracer::closeSpan(uint64_t id)
+{
+    if (id == 0)
+        return;
+    OpenSpan span;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = open_.find(id);
+        if (it == open_.end())
+            return;
+        span = std::move(it->second);
+        open_.erase(it);
+    }
+    SpanRecord record;
+    record.id = id;
+    record.parent = span.parent;
+    record.name = std::move(span.name);
+    record.startMillis = span.startMillis;
+    record.durationMillis = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                span.start)
+                                .count();
+    record.thread = span.thread;
+    ThreadState &state = stateForThread();
+    std::lock_guard<std::mutex> lock(state.buffer->mutex);
+    state.buffer->records.push_back(std::move(record));
+}
+
 std::vector<SpanRecord>
 Tracer::snapshot() const
 {
@@ -61,6 +115,32 @@ Tracer::snapshot() const
         std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
         out.insert(out.end(), buffer->records.begin(),
                    buffer->records.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+std::vector<SpanRecord>
+Tracer::drain()
+{
+    std::vector<SpanRecord> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            if (out.empty()) {
+                out = std::move(buffer->records);
+            } else {
+                out.insert(out.end(),
+                           std::make_move_iterator(
+                               buffer->records.begin()),
+                           std::make_move_iterator(buffer->records.end()));
+            }
+            buffer->records.clear();
+        }
     }
     std::sort(out.begin(), out.end(),
               [](const SpanRecord &a, const SpanRecord &b) {
@@ -137,6 +217,7 @@ SpanScope::finishMillis()
         record.name = name_;
         record.startMillis = startMillis_;
         record.durationMillis = duration_;
+        record.thread = state.ordinal;
         std::lock_guard<std::mutex> lock(state.buffer->mutex);
         state.buffer->records.push_back(std::move(record));
     }
@@ -148,6 +229,22 @@ globalTracer()
 {
     static Tracer tracer;
     return tracer;
+}
+
+Tracer *
+currentTracer()
+{
+    return t_bound_tracer != nullptr ? t_bound_tracer : &globalTracer();
+}
+
+TracerBinding::TracerBinding(Tracer *tracer) : previous_(t_bound_tracer)
+{
+    t_bound_tracer = tracer;
+}
+
+TracerBinding::~TracerBinding()
+{
+    t_bound_tracer = previous_;
 }
 
 } // namespace autofsm::obs

@@ -11,7 +11,19 @@
  *
  * Parentage defaults to the innermost open span on the current thread;
  * work fanned out across a pool passes the parent id explicitly so the
- * span tree stays connected across threads.
+ * span tree stays connected across threads. Spans whose lifetime does
+ * not nest in one scope (a serve request that is admitted on one thread
+ * and answered from another) use the manual `openSpan`/`closeSpan`
+ * pair.
+ *
+ * Consumers that poll (the serve daemon's slow-request ring) use
+ * `drain()`, which consumes everything recorded since the previous
+ * drain instead of rescanning the full history like `snapshot()`.
+ *
+ * Instrumentation sites reach their tracer through `currentTracer()`:
+ * the process-wide `globalTracer()` unless a `TracerBinding` installed a
+ * thread-local override (how the daemon routes the design flow's spans
+ * into its private tracer).
  *
  * With `-DAUTOFSM_NO_TELEMETRY` the tracer machinery compiles out and a
  * SpanScope degrades to a plain steady_clock stopwatch.
@@ -27,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace autofsm::obs
@@ -41,6 +54,8 @@ struct SpanRecord
     /** Start offset from the tracer's epoch, milliseconds. */
     double startMillis = 0.0;
     double durationMillis = 0.0;
+    /** Ordinal of the recording thread within this tracer (0-based). */
+    uint32_t thread = 0;
 };
 
 class SpanScope;
@@ -71,8 +86,28 @@ class Tracer
     /** Innermost open span on the calling thread (0 when none). */
     uint64_t currentSpan() const;
 
+    /**
+     * Open a span whose close happens on another thread or in another
+     * scope (a request's lifetime span). Returns the span id, or 0 when
+     * the tracer is disabled. The span does not join the calling
+     * thread's stack; children name it as their explicit parent.
+     */
+    uint64_t openSpan(std::string_view name, uint64_t parent = 0);
+
+    /** Close a span from openSpan; records it. No-op for id 0/unknown. */
+    void closeSpan(uint64_t id);
+
     /** Every finished span so far, merged across threads, sorted by id. */
     std::vector<SpanRecord> snapshot() const;
+
+    /**
+     * Consume-since-last-drain: move every span recorded since the
+     * previous drain() out of the per-thread buffers, sorted by id.
+     * Unlike snapshot() this never rescans history, so periodic
+     * consumers stay O(new spans) per call. Spans returned here no
+     * longer appear in snapshot().
+     */
+    std::vector<SpanRecord> drain();
 
     /** Drop all recorded spans (open SpanScopes still record on finish). */
     void clear();
@@ -90,6 +125,18 @@ class Tracer
     {
         std::vector<uint64_t> stack;
         std::shared_ptr<Buffer> buffer;
+        /** This thread's ordinal within the tracer (buffer index). */
+        uint32_t ordinal = 0;
+    };
+
+    /** A manually opened, not yet closed span (openSpan/closeSpan). */
+    struct OpenSpan
+    {
+        std::string name;
+        uint64_t parent = 0;
+        double startMillis = 0.0;
+        std::chrono::steady_clock::time_point start;
+        uint32_t thread = 0;
     };
 
     /** This thread's stack+buffer for this tracer (created on demand). */
@@ -104,6 +151,7 @@ class Tracer
 
     mutable std::mutex mutex_;
     mutable std::vector<std::shared_ptr<Buffer>> buffers_;
+    std::unordered_map<uint64_t, OpenSpan> open_;
 };
 
 /** RAII timed region; records into @p tracer if enabled (may be null). */
@@ -147,6 +195,32 @@ class SpanScope
 
 /** The process-wide tracer (disabled until a bench/test enables it). */
 Tracer &globalTracer();
+
+/**
+ * The tracer instrumentation sites should record into: the thread's
+ * `TracerBinding` override when one is active, otherwise
+ * `globalTracer()`. Never null.
+ */
+Tracer *currentTracer();
+
+/**
+ * Thread-local tracer override, RAII. The serve dispatcher binds its
+ * private tracer before running a batch; worker threads re-bind inside
+ * the fanned-out item so the flow's spans land in the same tracer
+ * regardless of which pool thread runs them.
+ */
+class TracerBinding
+{
+  public:
+    explicit TracerBinding(Tracer *tracer);
+    ~TracerBinding();
+
+    TracerBinding(const TracerBinding &) = delete;
+    TracerBinding &operator=(const TracerBinding &) = delete;
+
+  private:
+    Tracer *previous_ = nullptr;
+};
 
 } // namespace autofsm::obs
 

@@ -1,0 +1,114 @@
+#include "obs/trace_context.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "support/json.hh"
+
+namespace autofsm::obs
+{
+
+namespace
+{
+
+thread_local const TraceContext *t_current_context = nullptr;
+
+} // anonymous namespace
+
+TraceContextScope::TraceContextScope(const TraceContext &context)
+    : context_(context), previous_(t_current_context)
+{
+    t_current_context = context_.active() ? &context_ : nullptr;
+}
+
+TraceContextScope::~TraceContextScope()
+{
+    t_current_context = previous_;
+}
+
+const TraceContext *
+currentTraceContext()
+{
+    return t_current_context;
+}
+
+void
+SlowRequestRing::add(SlowRequestCapture capture)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ == 0) {
+        ++dropped_;
+        return;
+    }
+    while (entries_.size() >= capacity_) {
+        entries_.pop_front();
+        ++dropped_;
+    }
+    entries_.push_back(std::move(capture));
+}
+
+std::vector<SlowRequestCapture>
+SlowRequestRing::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {entries_.begin(), entries_.end()};
+}
+
+uint64_t
+SlowRequestRing::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::string
+slowRequestsToJson(const std::vector<SlowRequestCapture> &captures,
+                   size_t capacity, uint64_t dropped)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("slowRequests").beginArray();
+    for (const SlowRequestCapture &capture : captures) {
+        json.beginObject();
+        json.key("id").value(capture.requestId);
+        json.key("tenant").value(capture.tenant);
+        json.key("class").value(capture.requestClass);
+        json.key("outcome").value(capture.outcome);
+        json.key("totalMillis").value(capture.totalMillis);
+        json.key("queueMillis").value(capture.queueMillis);
+        json.key("deadlineMillis").value(capture.deadlineMillis);
+        json.key("degraded").value(capture.degraded);
+        json.key("fallbacks").beginArray();
+        for (const std::string &fallback : capture.fallbacks)
+            json.value(fallback);
+        json.endArray();
+        if (!capture.errorKind.empty() || !capture.errorStage.empty()) {
+            json.key("error").beginObject();
+            json.key("stage").value(capture.errorStage);
+            json.key("kind").value(capture.errorKind);
+            json.key("detail").value(capture.errorDetail);
+            json.endObject();
+        }
+        json.key("spans").beginArray();
+        for (const SpanRecord &span : capture.spans) {
+            json.beginObject();
+            json.key("id").value(span.id);
+            json.key("parent").value(span.parent);
+            json.key("name").value(span.name);
+            json.key("startMillis").value(span.startMillis);
+            json.key("millis").value(span.durationMillis);
+            json.key("thread").value(span.thread);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    json.key("capacity").value(static_cast<uint64_t>(capacity));
+    json.key("dropped").value(dropped);
+    json.endObject();
+    return out.str();
+}
+
+} // namespace autofsm::obs

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Request-scoped trace propagation and the slow-request capture ring.
+ *
+ * A `TraceContext` is minted once per admitted serve request (request
+ * id, tenant, class, the sampling decision and the id of the request's
+ * root span) and rides on the request through the dispatcher into the
+ * batch engine. Worker threads bind it with a `TraceContextScope`
+ * before running the item, so everything the flow does on that thread —
+ * spans, log lines — can correlate back to the owning request even when
+ * requests are coalesced into shared batches and fanned across the
+ * pool.
+ *
+ * Sampling policy: a request is sampled when it opted in
+ * (`DesignRequest::trace`) or when the daemon's slow-request ring is
+ * armed — a slow request is only identified after it finished, so its
+ * spans must already have been recorded. Unsampled requests open no
+ * root span and their stray spans are discarded at drain time.
+ *
+ * The `SlowRequestRing` retains the last N requests that blew a
+ * configurable fraction of their class deadline: the full span tree
+ * plus the budget/degradation state, scrapable over the daemon's debug
+ * frame. Fixed capacity, oldest evicted first.
+ */
+
+#ifndef AUTOFSM_OBS_TRACE_CONTEXT_HH
+#define AUTOFSM_OBS_TRACE_CONTEXT_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/span.hh"
+
+namespace autofsm::obs
+{
+
+/** Per-request observability identity, minted at admission. */
+struct TraceContext
+{
+    /** DesignRequest::id of the owning request. */
+    uint64_t requestId = 0;
+    std::string tenant;
+    /** requestClassName of the admission class ("interactive", ...). */
+    std::string requestClass;
+    /** Record spans for this request (opt-in trace or slow-ring armed). */
+    bool sampled = false;
+    /** The request's root span (Tracer::openSpan), 0 when unsampled. */
+    uint64_t rootSpan = 0;
+
+    /** A default-constructed context carries nothing and binds nothing. */
+    bool
+    active() const
+    {
+        return sampled || requestId != 0 || !tenant.empty();
+    }
+};
+
+/**
+ * Bind @p context as the calling thread's current trace context, RAII.
+ * An inactive context clears the binding instead (work between requests
+ * must not inherit the previous request's identity).
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(const TraceContext &context);
+    ~TraceContextScope();
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    TraceContext context_;
+    const TraceContext *previous_ = nullptr;
+};
+
+/** The calling thread's bound context, or nullptr outside any request. */
+const TraceContext *currentTraceContext();
+
+/** One retained slow request: identity, timing, degradation, spans. */
+struct SlowRequestCapture
+{
+    uint64_t requestId = 0;
+    std::string tenant;
+    std::string requestClass;
+    /** "ok" / "degraded" / "error" — the response's outcome. */
+    std::string outcome;
+    /** Admission-to-response wall clock, milliseconds. */
+    double totalMillis = 0.0;
+    /** Of which: waiting in the admission queue, milliseconds. */
+    double queueMillis = 0.0;
+    /** The effective deadline the request ran under (0 = unlimited). */
+    double deadlineMillis = 0.0;
+    bool degraded = false;
+    /** Fallback chain, "stage:kind" in execution order. */
+    std::vector<std::string> fallbacks;
+    /** The classified failure when outcome == "error". */
+    std::string errorStage;
+    std::string errorKind;
+    std::string errorDetail;
+    /** The request's span tree (empty when telemetry is compiled out). */
+    std::vector<SpanRecord> spans;
+};
+
+/** Fixed-capacity ring of slow-request captures, oldest evicted. */
+class SlowRequestRing
+{
+  public:
+    explicit SlowRequestRing(size_t capacity) : capacity_(capacity) {}
+
+    SlowRequestRing(const SlowRequestRing &) = delete;
+    SlowRequestRing &operator=(const SlowRequestRing &) = delete;
+
+    void add(SlowRequestCapture capture);
+
+    /** Retained captures, oldest first. */
+    std::vector<SlowRequestCapture> snapshot() const;
+
+    size_t capacity() const { return capacity_; }
+
+    /** Captures evicted (or refused, capacity 0) so far. */
+    uint64_t dropped() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::deque<SlowRequestCapture> entries_;
+    uint64_t dropped_ = 0;
+};
+
+/**
+ * Render the debug-frame payload: {"slowRequests":[...], "capacity":N,
+ * "dropped":N}, each capture with its flat span list (ids + parents, so
+ * connectivity is checkable). Deterministic JsonWriter bytes.
+ */
+std::string slowRequestsToJson(
+    const std::vector<SlowRequestCapture> &captures, size_t capacity,
+    uint64_t dropped);
+
+} // namespace autofsm::obs
+
+#endif // AUTOFSM_OBS_TRACE_CONTEXT_HH

@@ -47,4 +47,12 @@ Client::fetchMetrics()
         .payload;
 }
 
+std::string
+Client::fetchDebug()
+{
+    return roundTrip(FrameType::DebugRequest, {},
+                     FrameType::DebugResponse)
+        .payload;
+}
+
 } // namespace autofsm::serve

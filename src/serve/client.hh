@@ -51,6 +51,9 @@ class Client
     /** Scrape the daemon's metrics (Prometheus text exposition). */
     std::string fetchMetrics();
 
+    /** Scrape the slow-request debug ring (slowRequestsToJson bytes). */
+    std::string fetchDebug();
+
   private:
     Frame roundTrip(FrameType type, std::string_view payload,
                     FrameType want);

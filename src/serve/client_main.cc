@@ -6,13 +6,25 @@
  *                    [--class=interactive|batch|bulk|mix]
  *                    [--trace-ref=NAME] [--branches=N] [--order=N]
  *                    [--tenant=NAME] [--request-file=FILE] [--metrics]
+ *                    [--debug] [--trace] [--dump-trace[=FILE]]
+ *                    [--check-json=FILE] [--check-jsonl=FILE]
  *
  * Drives the autofsm-serve daemon: sends --count design requests (class
  * "mix" cycles interactive/batch/bulk, the smoke job's load), prints a
  * one-line summary per response, and exits nonzero if any request
  * failed or returned an empty artifact. --metrics scrapes and prints
- * the daemon's Prometheus text instead. --request-file replays a JSON
- * array of DesignRequests (the flow/api.hh schema).
+ * the daemon's Prometheus text instead; --debug scrapes the
+ * slow-request ring. --request-file replays a JSON array of
+ * DesignRequests (the flow/api.hh schema).
+ *
+ * Observability helpers:
+ *  - --trace asks the daemon for each request's span tree;
+ *  - --dump-trace[=FILE] implies --trace and writes the collected spans
+ *    as Chrome trace-event JSON (stdout without a FILE);
+ *  - --check-json=FILE / --check-jsonl=FILE validate a file (or each
+ *    line of one) against the repo's strict JSON parser, no server
+ *    needed — the CI smoke job lints trace dumps and daemon logs with
+ *    these.
  */
 
 #include <cstdlib>
@@ -23,7 +35,10 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/export.hh"
+#include "obs/log.hh"
 #include "serve/client.hh"
+#include "support/json_parse.hh"
 
 namespace
 {
@@ -35,6 +50,61 @@ flagText(std::string_view arg, std::string_view prefix, std::string *out)
         return false;
     *out = std::string(arg.substr(prefix.size()));
     return true;
+}
+
+/** Strict-parse a whole file; 0 on success, 1 with a log line if not. */
+int
+checkJsonFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        autofsm::obs::logError("client.check", "cannot open file",
+                               {{"file", path}});
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        (void)autofsm::JsonValue::parse(text.str());
+    } catch (const std::exception &e) {
+        autofsm::obs::logError("client.check", "invalid JSON",
+                               {{"file", path}, {"detail", e.what()}});
+        return 1;
+    }
+    std::cout << path << ": valid JSON\n";
+    return 0;
+}
+
+/** Strict-parse every non-empty line of a JSON-lines file. */
+int
+checkJsonLinesFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        autofsm::obs::logError("client.check", "cannot open file",
+                               {{"file", path}});
+        return 1;
+    }
+    std::string line;
+    uint64_t lineNo = 0;
+    uint64_t parsed = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        try {
+            (void)autofsm::JsonValue::parse(line);
+            ++parsed;
+        } catch (const std::exception &e) {
+            autofsm::obs::logError("client.check", "invalid JSON line",
+                                   {{"file", path},
+                                    {"line", static_cast<int64_t>(lineNo)},
+                                    {"detail", e.what()}});
+            return 1;
+        }
+    }
+    std::cout << path << ": " << parsed << " valid JSON lines\n";
+    return 0;
 }
 
 } // namespace
@@ -53,6 +123,12 @@ main(int argc, char **argv)
     std::string tenant = "cli";
     std::string requestFile;
     bool metrics = false;
+    bool debug = false;
+    bool trace = false;
+    bool dumpTrace = false;
+    std::string dumpTraceFile;
+    std::string checkJson;
+    std::string checkJsonl;
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -64,11 +140,25 @@ main(int argc, char **argv)
                    "  [--class=interactive|batch|bulk|mix] "
                    "[--trace-ref=NAME]\n"
                    "  [--branches=N] [--order=N] [--tenant=NAME]\n"
-                   "  [--request-file=FILE] [--metrics]\n";
+                   "  [--request-file=FILE] [--metrics] [--debug]\n"
+                   "  [--trace] [--dump-trace[=FILE]]\n"
+                   "  [--check-json=FILE] [--check-jsonl=FILE]\n";
             return 0;
         } else if (arg == "--metrics") {
             metrics = true;
-        } else if (flagText(arg, "--host=", &host) ||
+        } else if (arg == "--debug") {
+            debug = true;
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (arg == "--dump-trace") {
+            trace = true;
+            dumpTrace = true;
+        } else if (flagText(arg, "--dump-trace=", &dumpTraceFile)) {
+            trace = true;
+            dumpTrace = true;
+        } else if (flagText(arg, "--check-json=", &checkJson) ||
+                   flagText(arg, "--check-jsonl=", &checkJsonl) ||
+                   flagText(arg, "--host=", &host) ||
                    flagText(arg, "--class=", &klass) ||
                    flagText(arg, "--trace-ref=", &traceRef) ||
                    flagText(arg, "--tenant=", &tenant) ||
@@ -82,9 +172,20 @@ main(int argc, char **argv)
         } else if (flagText(arg, "--order=", &text)) {
             order = std::strtol(text.c_str(), nullptr, 10);
         } else {
-            std::cerr << argv[0] << ": unknown flag '" << arg << "'\n";
+            obs::logError("client.main", "unknown flag",
+                          {{"flag", std::string(arg)}});
             return 2;
         }
+    }
+
+    // Pure file-lint modes: no connection needed.
+    if (!checkJson.empty() || !checkJsonl.empty()) {
+        int status = 0;
+        if (!checkJson.empty())
+            status |= checkJsonFile(checkJson);
+        if (!checkJsonl.empty())
+            status |= checkJsonLinesFile(checkJsonl);
+        return status;
     }
 
     try {
@@ -93,13 +194,17 @@ main(int argc, char **argv)
             std::cout << client.fetchMetrics();
             return 0;
         }
+        if (debug) {
+            std::cout << client.fetchDebug() << "\n";
+            return 0;
+        }
 
         std::vector<DesignRequest> requests;
         if (!requestFile.empty()) {
             std::ifstream in(requestFile);
             if (!in) {
-                std::cerr << argv[0] << ": cannot open " << requestFile
-                          << "\n";
+                obs::logError("client.main", "cannot open request file",
+                              {{"file", requestFile}});
                 return 1;
             }
             std::ostringstream text;
@@ -115,8 +220,8 @@ main(int argc, char **argv)
                     klass == "mix" ? kMix[i % 3] : klass;
                 const auto parsed = requestClassFromName(name);
                 if (!parsed) {
-                    std::cerr << argv[0] << ": unknown class '" << name
-                              << "'\n";
+                    obs::logError("client.main", "unknown class",
+                                  {{"class", name}});
                     return 2;
                 }
                 request.requestClass = *parsed;
@@ -126,8 +231,13 @@ main(int argc, char **argv)
                 requests.push_back(std::move(request));
             }
         }
+        if (trace) {
+            for (DesignRequest &request : requests)
+                request.trace = true;
+        }
 
         int failures = 0;
+        std::vector<obs::SpanRecord> spans;
         for (const DesignRequest &request : requests) {
             const DesignResponse response = client.design(request);
             if (response.ok && !response.artifact.empty()) {
@@ -135,7 +245,13 @@ main(int argc, char **argv)
                           << response.statesFinal << " millis="
                           << response.designMillis
                           << (response.degraded ? " degraded" : "")
-                          << (response.fromCache ? " cached" : "") << "\n";
+                          << (response.fromCache ? " cached" : "")
+                          << (response.trace.empty()
+                                  ? ""
+                                  : " spans=" +
+                                      std::to_string(
+                                          response.trace.size()))
+                          << "\n";
             } else {
                 ++failures;
                 std::cout << "id=" << response.id << " FAILED ["
@@ -143,14 +259,33 @@ main(int argc, char **argv)
                           << response.error.kind << "] "
                           << response.error.detail << "\n";
             }
+            spans.insert(spans.end(), response.trace.begin(),
+                         response.trace.end());
+        }
+        if (dumpTrace) {
+            if (dumpTraceFile.empty()) {
+                obs::renderTraceEvents(std::cout, spans);
+                std::cout << "\n";
+            } else {
+                std::ofstream out(dumpTraceFile);
+                if (!out) {
+                    obs::logError("client.main", "cannot write trace file",
+                                  {{"file", dumpTraceFile}});
+                    return 1;
+                }
+                obs::renderTraceEvents(out, spans);
+                out << "\n";
+            }
         }
         if (failures > 0) {
-            std::cerr << failures << " of " << requests.size()
-                      << " requests failed\n";
+            obs::logError(
+                "client.main", "requests failed",
+                {{"failed", static_cast<int64_t>(failures)},
+                 {"total", static_cast<uint64_t>(requests.size())}});
             return 1;
         }
     } catch (const std::exception &e) {
-        std::cerr << argv[0] << ": " << e.what() << "\n";
+        obs::logError("client.main", "fatal", {{"detail", e.what()}});
         return 1;
     }
     return 0;

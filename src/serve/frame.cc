@@ -49,7 +49,7 @@ bool
 frameTypeKnown(uint8_t type)
 {
     return type >= static_cast<uint8_t>(FrameType::DesignRequest) &&
-        type <= static_cast<uint8_t>(FrameType::Error);
+        type <= static_cast<uint8_t>(FrameType::DebugResponse);
 }
 
 const char *
@@ -61,6 +61,8 @@ frameTypeName(FrameType type)
       case FrameType::MetricsRequest: return "metrics-request";
       case FrameType::MetricsResponse: return "metrics-response";
       case FrameType::Error: return "error";
+      case FrameType::DebugRequest: return "debug-request";
+      case FrameType::DebugResponse: return "debug-response";
     }
     return "?";
 }

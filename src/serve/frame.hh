@@ -49,6 +49,8 @@ enum class FrameType : uint8_t
     MetricsRequest = 3,  ///< client -> server: empty payload
     MetricsResponse = 4, ///< server -> client: Prometheus text
     Error = 5,           ///< server -> client: protocol-level error text
+    DebugRequest = 6,    ///< client -> server: empty payload
+    DebugResponse = 7,   ///< server -> client: slow-request ring JSON
 };
 
 /** True when @p type is a defined FrameType value. */

@@ -4,11 +4,13 @@
  *
  *     autofsm-serve [--port=N] [--workers=N] [--queue-depth=N]
  *                   [--no-class-budgets] [--retries=N]
+ *                   [--slow-ring=N] [--slow-fraction-pct=N]
  *
  * Serves the framed DesignRequest protocol on 127.0.0.1 until SIGTERM
  * or SIGINT, then drains (every admitted request is answered) and
  * exits 0. Prints one "listening on 127.0.0.1:<port>" line to stdout
- * once ready, which is what the smoke job and the quickstart wait for.
+ * once ready, which is what the smoke job and the quickstart wait for;
+ * structured JSON-lines logs go to stderr.
  */
 
 #include <atomic>
@@ -21,6 +23,7 @@
 
 #include <unistd.h>
 
+#include "obs/log.hh"
 #include "serve/server.hh"
 
 namespace
@@ -60,7 +63,8 @@ main(int argc, char **argv)
         if (arg == "-h" || arg == "--help") {
             std::cout << "usage: " << argv[0]
                       << " [--port=N] [--workers=N] [--queue-depth=N]\n"
-                         "  [--no-class-budgets] [--retries=N]\n";
+                         "  [--no-class-budgets] [--retries=N]\n"
+                         "  [--slow-ring=N] [--slow-fraction-pct=N]\n";
             return 0;
         } else if (flagValue(arg, "--port=", &value)) {
             options.port = static_cast<uint16_t>(value);
@@ -70,10 +74,16 @@ main(int argc, char **argv)
             options.maxQueueDepth = static_cast<size_t>(value);
         } else if (flagValue(arg, "--retries=", &value)) {
             options.retry.maxAttempts = static_cast<int>(value) + 1;
+        } else if (flagValue(arg, "--slow-ring=", &value)) {
+            options.slowRingCapacity = static_cast<size_t>(value);
+        } else if (flagValue(arg, "--slow-fraction-pct=", &value)) {
+            options.slowRequestFraction =
+                static_cast<double>(value) / 100.0;
         } else if (arg == "--no-class-budgets") {
             options.applyClassBudgets = false;
         } else {
-            std::cerr << argv[0] << ": unknown flag '" << arg << "'\n";
+            autofsm::obs::logError("serve.main", "unknown flag",
+                                   {{"flag", std::string(arg)}});
             return 2;
         }
     }
@@ -93,9 +103,17 @@ main(int argc, char **argv)
     try {
         server.start();
     } catch (const std::exception &e) {
-        std::cerr << argv[0] << ": " << e.what() << "\n";
+        autofsm::obs::logError("serve.main", "failed to start",
+                               {{"detail", e.what()}});
         return 1;
     }
+    autofsm::obs::logInfo(
+        "serve.start", "listening",
+        {{"addr", "127.0.0.1:" + std::to_string(server.port())},
+         {"pid", static_cast<int64_t>(getpid())},
+         {"build", autofsm::obs::buildInfo()},
+         {"workers", static_cast<uint64_t>(options.workers)},
+         {"slowRing", static_cast<uint64_t>(options.slowRingCapacity)}});
     std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
 
     // Block until a signal arrives.

@@ -1,10 +1,13 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/export.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "support/failpoint.hh"
 #include "workloads/trace_cache.hh"
@@ -15,6 +18,21 @@ namespace autofsm::serve
 namespace
 {
 
+/** Outcome labels of the request-duration histograms, index-stable. */
+constexpr const char *kOutcomeNames[] = {"ok", "degraded", "error",
+                                         "rejected"};
+constexpr size_t kOutcomeCount = 4;
+constexpr size_t kClassCount = 3;
+
+/** Index into kOutcomeNames for a finished response. */
+size_t
+outcomeIndex(const DesignResponse &response)
+{
+    if (!response.ok)
+        return 2;
+    return response.degraded ? 1 : 0;
+}
+
 /** Unlabeled serve instrumentation, registered once. */
 struct ServeTelemetry
 {
@@ -23,6 +41,13 @@ struct ServeTelemetry
     obs::Counter acceptFaults;
     obs::Counter droppedResponses;
     obs::Histogram dispatchBatch;
+    /** SLO latency: admission-to-response seconds by class and outcome.
+     *  Pre-registered so the hot path never hits the labeled-metric
+     *  registration (which can throw on slot exhaustion). */
+    obs::Histogram requestDuration[kClassCount][kOutcomeCount];
+    /** The queue-wait vs. service-time split of the same wall clock. */
+    obs::Histogram queueSeconds[kClassCount];
+    obs::Histogram serviceSeconds[kClassCount];
 };
 
 ServeTelemetry &
@@ -47,9 +72,37 @@ serveTelemetry()
             "autofsm_serve_dispatch_batch_size",
             "Requests coalesced into one BatchDesigner dispatch.",
             {1, 2, 4, 8, 16, 32, 64});
+        for (size_t c = 0; c < kClassCount; ++c) {
+            const char *klass =
+                requestClassName(static_cast<RequestClass>(c));
+            for (size_t o = 0; o < kOutcomeCount; ++o) {
+                t.requestDuration[c][o] = registry.histogram(
+                    "autofsm_serve_request_duration_seconds",
+                    "Admission-to-response latency by class and outcome.",
+                    obs::defaultLatencyBucketsSeconds(),
+                    {{"class", klass}, {"outcome", kOutcomeNames[o]}});
+            }
+            t.queueSeconds[c] = registry.histogram(
+                "autofsm_serve_request_queue_seconds",
+                "Time an admitted request waited for the dispatcher.",
+                obs::defaultLatencyBucketsSeconds(),
+                {{"class", klass}});
+            t.serviceSeconds[c] = registry.histogram(
+                "autofsm_serve_request_service_seconds",
+                "Time a request spent in its dispatch batch.",
+                obs::defaultLatencyBucketsSeconds(),
+                {{"class", klass}});
+        }
         return t;
     }();
     return telemetry;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start,
+             std::chrono::steady_clock::time_point end)
+{
+    return std::chrono::duration<double>(end - start).count();
 }
 
 /**
@@ -152,7 +205,8 @@ struct Server::Connection
 };
 
 Server::Server(ServeOptions options)
-    : options_(options), admission_(options)
+    : options_(options), admission_(options),
+      slowRing_(options.slowRingCapacity)
 {
 }
 
@@ -169,6 +223,9 @@ Server::start()
         return;
     listener_ = listenOn(options_.port, &port_);
     pool_ = std::make_unique<ThreadPool>(options_.workers);
+    // The private tracer is always armed: traced requests need spans on
+    // demand and slow requests are only identified after the fact.
+    tracer_.enable(true);
     draining_ = false;
     started_ = true;
     acceptThread_ = std::thread([this] { acceptLoop(); });
@@ -231,9 +288,11 @@ Server::acceptLoop()
     for (;;) {
         try {
             AUTOFSM_FAILPOINT("serve.accept");
-        } catch (const InjectedFault &) {
+        } catch (const InjectedFault &e) {
             // Transient accept-path fault: count it and keep serving.
             serveTelemetry().acceptFaults.inc();
+            obs::logWarn("serve.accept", "recovered accept-loop fault",
+                         {{"detail", e.what()}});
             continue;
         }
         Socket socket = acceptConnection(listener_);
@@ -269,6 +328,9 @@ Server::connectionLoop(std::shared_ptr<Connection> connection)
             // Framing is unrecoverable per connection: report, drop the
             // connection, and the daemon keeps serving everyone else.
             serveTelemetry().frameErrors.inc();
+            obs::logWarn("serve.frame",
+                         "dropping connection on malformed frame",
+                         {{"detail", e.what()}});
             try {
                 std::lock_guard<std::mutex> lock(connection->writeMutex);
                 sendAll(connection->socket,
@@ -296,6 +358,19 @@ Server::handleFrame(const std::shared_ptr<Connection> &connection,
         }
         return;
     }
+    if (frame.type == FrameType::DebugRequest) {
+        const std::string text = obs::slowRequestsToJson(
+            slowRing_.snapshot(), slowRing_.capacity(),
+            slowRing_.dropped());
+        try {
+            std::lock_guard<std::mutex> lock(connection->writeMutex);
+            sendAll(connection->socket,
+                    encodeFrame(FrameType::DebugResponse, text));
+        } catch (const NetError &) {
+            serveTelemetry().droppedResponses.inc();
+        }
+        return;
+    }
     if (frame.type != FrameType::DesignRequest) {
         try {
             std::lock_guard<std::mutex> lock(connection->writeMutex);
@@ -308,6 +383,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &connection,
         return;
     }
 
+    const auto received = std::chrono::steady_clock::now();
     DesignRequest request;
     try {
         request = designRequestFromJson(frame.payload);
@@ -318,6 +394,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &connection,
         // Count before sending: a synchronous client that scrapes
         // metrics right after its response must see its own tick.
         countRequest(request.tenant, request.requestClass, "rejected");
+        observeRejected(request.requestClass, received);
         sendResponse(connection, request, response);
         return;
     }
@@ -331,6 +408,19 @@ Server::handleFrame(const std::shared_ptr<Connection> &connection,
             item.request = request;
             item.request.options = decision.options;
             item.connection = connection;
+            item.admitted = received;
+            // Mint the request's observability identity. Untraced
+            // requests are sampled too while the slow ring is armed: a
+            // slow request is only identified after it finished, so its
+            // spans must already exist by then.
+            obs::TraceContext &context = item.request.obsContext;
+            context.requestId = request.id;
+            context.tenant = request.tenant;
+            context.requestClass = requestClassName(request.requestClass);
+            context.sampled = item.request.trace ||
+                (options_.slowRingCapacity > 0 && tracer_.enabled());
+            if (context.sampled)
+                context.rootSpan = tracer_.openSpan("serve.request");
             queues_[static_cast<size_t>(request.requestClass)].push_back(
                 std::move(item));
             ++queued_;
@@ -345,7 +435,17 @@ Server::handleFrame(const std::shared_ptr<Connection> &connection,
     response.id = request.id;
     response.error = {"serve.admit", decision.reason, decision.detail};
     countRequest(request.tenant, request.requestClass, "rejected");
+    observeRejected(request.requestClass, received);
     sendResponse(connection, request, response);
+}
+
+void
+Server::observeRejected(RequestClass klass,
+                        std::chrono::steady_clock::time_point received)
+{
+    serveTelemetry()
+        .requestDuration[static_cast<size_t>(klass)][3]
+        .observe(secondsSince(received, std::chrono::steady_clock::now()));
 }
 
 void
@@ -377,9 +477,13 @@ Server::dispatchLoop()
         }
         serveTelemetry().dispatchBatch.observe(
             static_cast<double>(batch.size()));
+        const auto dispatch_start = std::chrono::steady_clock::now();
 
         // Per-job dispatch failpoint: an injected fault fails that job
         // with a structured (retryable) error instead of losing it.
+        // Failed items keep their response slot so the span/metrics
+        // accounting below covers them uniformly.
+        std::vector<DesignResponse> responses(batch.size());
         std::vector<size_t> live;
         std::vector<DesignRequest> requests;
         live.reserve(batch.size());
@@ -388,32 +492,121 @@ Server::dispatchLoop()
             try {
                 AUTOFSM_FAILPOINT("serve.dispatch");
             } catch (const InjectedFault &e) {
-                DesignResponse response;
-                response.id = batch[i].request.id;
-                response.error = {"serve.dispatch",
-                                  errorKindName(ErrorKind::Injected),
-                                  e.what()};
-                noteOutcome(batch[i].request, response);
-                sendResponse(batch[i].connection, batch[i].request,
-                             response);
+                responses[i].id = batch[i].request.id;
+                responses[i].error = {"serve.dispatch",
+                                      errorKindName(ErrorKind::Injected),
+                                      e.what()};
                 continue;
             }
             live.push_back(i);
             requests.push_back(batch[i].request);
         }
-        if (requests.empty())
-            continue;
 
-        BatchOptions batchOptions;
-        batchOptions.retry = options_.retry;
-        batchOptions.pool = pool_.get();
-        BatchDesigner designer({}, batchOptions);
-        const std::vector<BatchItemResult> results =
-            designer.designRequests(requests);
-        for (size_t r = 0; r < results.size(); ++r) {
-            const QueuedRequest &item = batch[live[r]];
-            const DesignResponse response =
-                designResponseFromItem(item.request, results[r]);
+        if (!requests.empty()) {
+            BatchOptions batchOptions;
+            batchOptions.retry = options_.retry;
+            batchOptions.pool = pool_.get();
+            BatchDesigner designer({}, batchOptions);
+            // Bind the daemon's tracer so the batch engine (and the
+            // design flows it fans across the pool) records here.
+            obs::TracerBinding bind(&tracer_);
+            const std::vector<BatchItemResult> results =
+                designer.designRequests(requests);
+            for (size_t r = 0; r < results.size(); ++r) {
+                responses[live[r]] = designResponseFromItem(
+                    batch[live[r]].request, results[r]);
+            }
+        }
+
+        // Close every request's root span, then consume everything this
+        // batch recorded and partition it per owning request. Parents
+        // are always allocated before children, so one forward pass
+        // over the id-sorted drain resolves each span's root; spans
+        // reaching no request root (the shared batch bookkeeping,
+        // unsampled strays) are discarded here.
+        for (const QueuedRequest &item : batch)
+            tracer_.closeSpan(item.request.obsContext.rootSpan);
+        const std::vector<obs::SpanRecord> drained = tracer_.drain();
+        std::unordered_map<uint64_t, std::vector<obs::SpanRecord>> byRoot;
+        for (const QueuedRequest &item : batch) {
+            if (item.request.obsContext.rootSpan != 0)
+                byRoot.emplace(item.request.obsContext.rootSpan,
+                               std::vector<obs::SpanRecord>());
+        }
+        std::unordered_map<uint64_t, uint64_t> rootOf;
+        for (const obs::SpanRecord &span : drained) {
+            uint64_t root = 0;
+            if (byRoot.count(span.id)) {
+                root = span.id;
+            } else if (span.parent != 0) {
+                const auto it = rootOf.find(span.parent);
+                if (it != rootOf.end())
+                    root = it->second;
+            }
+            rootOf.emplace(span.id, root);
+            if (root != 0)
+                byRoot[root].push_back(span);
+        }
+
+        const auto finish = std::chrono::steady_clock::now();
+        ServeTelemetry &telemetry = serveTelemetry();
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const QueuedRequest &item = batch[i];
+            DesignResponse &response = responses[i];
+            const size_t klass =
+                static_cast<size_t>(item.request.requestClass);
+            const double queue_s =
+                secondsSince(item.admitted, dispatch_start);
+            const double total_s = secondsSince(item.admitted, finish);
+            telemetry.queueSeconds[klass].observe(queue_s);
+            telemetry.serviceSeconds[klass].observe(total_s - queue_s);
+            telemetry.requestDuration[klass][outcomeIndex(response)]
+                .observe(total_s);
+
+            const uint64_t root = item.request.obsContext.rootSpan;
+            std::vector<obs::SpanRecord> *spans = nullptr;
+            if (root != 0) {
+                const auto it = byRoot.find(root);
+                if (it != byRoot.end())
+                    spans = &it->second;
+            }
+            if (item.request.trace && spans != nullptr)
+                response.trace = *spans;
+
+            const double deadline =
+                item.request.options.budget.deadlineMillis;
+            const double total_ms = total_s * 1000.0;
+            if (deadline > 0.0 &&
+                total_ms >= options_.slowRequestFraction * deadline) {
+                obs::SlowRequestCapture capture;
+                capture.requestId = item.request.id;
+                capture.tenant = item.request.tenant;
+                capture.requestClass =
+                    requestClassName(item.request.requestClass);
+                capture.outcome = kOutcomeNames[outcomeIndex(response)];
+                capture.totalMillis = total_ms;
+                capture.queueMillis = queue_s * 1000.0;
+                capture.deadlineMillis = deadline;
+                capture.degraded = response.degraded;
+                capture.fallbacks = response.fallbacks;
+                capture.errorStage = response.error.stage;
+                capture.errorKind = response.error.kind;
+                capture.errorDetail = response.error.detail;
+                if (spans != nullptr)
+                    capture.spans = *spans;
+                slowRing_.add(std::move(capture));
+                obs::logWarn(
+                    "serve.slow", "request blew its deadline fraction",
+                    {{"requestId", item.request.id},
+                     {"tenant", item.request.tenant},
+                     {"class",
+                      requestClassName(item.request.requestClass)},
+                     {"totalMillis", total_ms},
+                     {"deadlineMillis", deadline},
+                     {"outcome",
+                      kOutcomeNames[outcomeIndex(response)]}});
+            }
+
             noteOutcome(item.request, response);
             sendResponse(item.connection, item.request, response);
         }
@@ -425,13 +618,17 @@ Server::sendResponse(const std::shared_ptr<Connection> &connection,
                      const DesignRequest &request,
                      const DesignResponse &response)
 {
-    (void)request;
     try {
         std::lock_guard<std::mutex> lock(connection->writeMutex);
         sendAll(connection->socket,
                 encodeFrame(FrameType::DesignResponse, toJson(response)));
-    } catch (const NetError &) {
+    } catch (const NetError &e) {
         serveTelemetry().droppedResponses.inc();
+        obs::logWarn("serve.send",
+                     "dropping response for a gone client",
+                     {{"requestId", request.id},
+                      {"tenant", request.tenant},
+                      {"detail", e.what()}});
     }
 }
 

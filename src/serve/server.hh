@@ -31,6 +31,7 @@
 #ifndef AUTOFSM_SERVE_SERVER_HH
 #define AUTOFSM_SERVE_SERVER_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,6 +43,8 @@
 
 #include "flow/api.hh"
 #include "flow/batch.hh"
+#include "obs/span.hh"
+#include "obs/trace_context.hh"
 #include "serve/frame.hh"
 #include "serve/net.hh"
 #include "support/thread_pool.hh"
@@ -71,6 +74,19 @@ struct ServeOptions
      * comparing daemon artifacts against the direct library path.
      */
     bool applyClassBudgets = true;
+    /**
+     * A request is "slow" — captured into the debug ring with its full
+     * span tree — when its admission-to-response wall clock reaches this
+     * fraction of its effective deadline. Requests with no deadline are
+     * never slow.
+     */
+    double slowRequestFraction = 0.75;
+    /**
+     * Retained slow-request captures (obs::SlowRequestRing), scrapable
+     * over the DebugRequest frame. 0 disables the ring — and with it the
+     * always-on sampling of untraced requests.
+     */
+    size_t slowRingCapacity = 32;
 };
 
 /**
@@ -145,9 +161,12 @@ class Server
     /** One admitted request waiting for the dispatcher. */
     struct QueuedRequest
     {
-        /** The request, options already mapped by admission. */
+        /** The request, options already mapped by admission; carries the
+         *  TraceContext minted at admission in request.obsContext. */
         DesignRequest request;
         std::shared_ptr<Connection> connection;
+        /** Admission time (queue-wait and total-duration baseline). */
+        std::chrono::steady_clock::time_point admitted;
     };
 
     void acceptLoop();
@@ -160,10 +179,16 @@ class Server
                       const DesignResponse &response);
     void noteOutcome(const DesignRequest &request,
                      const DesignResponse &response);
+    void observeRejected(RequestClass klass,
+                         std::chrono::steady_clock::time_point received);
     void setQueueDepthGauge(size_t depth);
 
     ServeOptions options_;
     AdmissionController admission_;
+    /** The daemon's private tracer: request spans land here (not in
+     *  globalTracer()) so the dispatcher can drain them destructively. */
+    obs::Tracer tracer_;
+    obs::SlowRequestRing slowRing_;
     uint16_t port_ = 0;
 
     Socket listener_;

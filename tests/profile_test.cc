@@ -219,6 +219,9 @@ TEST(ProfileTest, StatsAndOrderValidation)
 
 TEST(ProfileTest, PublishesProfileGauges)
 {
+#ifdef AUTOFSM_NO_TELEMETRY
+    GTEST_SKIP() << "built with AUTOFSM_NO_TELEMETRY";
+#endif
     obs::MetricsRegistry &registry = obs::globalMetrics();
     registry.enable(true);
     const std::vector<int> trace = randomTrace(0x99, 400);

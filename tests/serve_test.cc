@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "flow/api.hh"
 #include "flow/batch.hh"
 #include "flow/design_flow.hh"
+#include "flow/design_memo.hh"
 #include "fsmgen/designer.hh"
 #include "fsmgen/profile.hh"
 #include "serve/client.hh"
@@ -685,6 +687,208 @@ TEST_F(ServerTest, AcceptLoopRecoversFromInjectedFaults)
     const std::string metrics = client.fetchMetrics();
     EXPECT_NE(metrics.find("autofsm_serve_accept_faults_total"),
               std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped observability
+
+/** True when @p spans is one connected tree rooted at a "serve.request". */
+::testing::AssertionResult
+isConnectedRequestTree(const std::vector<obs::SpanRecord> &spans)
+{
+    if (spans.empty())
+        return ::testing::AssertionFailure() << "no spans";
+    std::set<uint64_t> ids;
+    size_t roots = 0;
+    for (const obs::SpanRecord &span : spans) {
+        ids.insert(span.id);
+        if (span.parent == 0) {
+            ++roots;
+            if (span.name != "serve.request") {
+                return ::testing::AssertionFailure()
+                       << "root span is " << span.name;
+            }
+        }
+    }
+    if (roots != 1) {
+        return ::testing::AssertionFailure()
+               << roots << " roots, expected exactly 1";
+    }
+    for (const obs::SpanRecord &span : spans) {
+        if (span.parent != 0 && ids.count(span.parent) == 0) {
+            return ::testing::AssertionFailure()
+                   << "orphan span " << span.name << " (id " << span.id
+                   << ") names absent parent " << span.parent;
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+TEST_F(ServerTest, TracedRequestReturnsConnectedSpanTree)
+{
+    // Earlier tests may have memoized this design; a memo hit would
+    // legitimately skip the subset/minimize stages we assert on below.
+    clearDesignMemo();
+    startServer();
+    serve::Client client = connect();
+    DesignRequest request = outcomesRequest(51, syntheticTrace(5));
+    request.trace = true;
+    const DesignResponse response = client.design(request);
+    ASSERT_TRUE(response.ok) << response.error.detail;
+    EXPECT_EQ(response.artifact, directArtifact(request));
+
+#ifdef AUTOFSM_NO_TELEMETRY
+    EXPECT_TRUE(response.trace.empty());
+#else
+    EXPECT_TRUE(isConnectedRequestTree(response.trace));
+    // The tree covers the executed flow stages, not just serve spans.
+    std::set<std::string> names;
+    for (const obs::SpanRecord &span : response.trace)
+        names.insert(span.name);
+    EXPECT_TRUE(names.count("batch.resolve"));
+    EXPECT_TRUE(names.count("batch.item"));
+    EXPECT_TRUE(names.count("flow.run"));
+    EXPECT_TRUE(names.count("flow.subset"));
+
+    // And it strict-JSON round-trips through the response wire format.
+    const DesignResponse parsed =
+        designResponseFromJson(toJson(response));
+    ASSERT_EQ(parsed.trace.size(), response.trace.size());
+    for (size_t i = 0; i < parsed.trace.size(); ++i) {
+        EXPECT_EQ(parsed.trace[i].id, response.trace[i].id);
+        EXPECT_EQ(parsed.trace[i].parent, response.trace[i].parent);
+        EXPECT_EQ(parsed.trace[i].name, response.trace[i].name);
+        EXPECT_EQ(parsed.trace[i].thread, response.trace[i].thread);
+    }
+    EXPECT_EQ(toJson(parsed), toJson(response));
+#endif
+}
+
+TEST_F(ServerTest, UntracedRequestCarriesNoSpans)
+{
+    startServer();
+    serve::Client client = connect();
+    const DesignResponse response =
+        client.design(outcomesRequest(52, syntheticTrace(6)));
+    ASSERT_TRUE(response.ok) << response.error.detail;
+    EXPECT_TRUE(response.trace.empty());
+}
+
+TEST_F(ServerTest, ConcurrentTracedRequestsOwnDisjointTrees)
+{
+#ifdef AUTOFSM_NO_TELEMETRY
+    GTEST_SKIP() << "built with AUTOFSM_NO_TELEMETRY";
+#else
+    constexpr size_t kClients = 4;
+    startServer();
+
+    std::vector<DesignResponse> responses(kClients);
+    std::vector<std::string> errors(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                serve::Client client = connect();
+                // Two pairs share a trace so batch dedup is in play.
+                DesignRequest request =
+                    outcomesRequest(60 + c, syntheticTrace(c % 2));
+                request.trace = true;
+                responses[c] = client.design(request);
+            } catch (const std::exception &e) {
+                errors[c] = e.what();
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    std::set<uint64_t> allSpanIds;
+    size_t total = 0;
+    for (size_t c = 0; c < kClients; ++c) {
+        ASSERT_EQ(errors[c], "") << "client " << c;
+        ASSERT_TRUE(responses[c].ok) << responses[c].error.detail;
+        EXPECT_TRUE(isConnectedRequestTree(responses[c].trace))
+            << "client " << c;
+        for (const obs::SpanRecord &span : responses[c].trace)
+            allSpanIds.insert(span.id);
+        total += responses[c].trace.size();
+    }
+    // No span leaked into more than one request's tree.
+    EXPECT_EQ(allSpanIds.size(), total);
+#endif
+}
+
+TEST_F(ServerTest, SlowRequestLandsInDebugRing)
+{
+    serve::ServeOptions options;
+    options.slowRequestFraction = 0.5;
+    startServer(options);
+    serve::Client client = connect();
+
+    // A deadline this tight is blown by any real design: the request
+    // must show up in the slow ring with its degradation state.
+    DesignRequest request = outcomesRequest(71, syntheticTrace(7));
+    request.options.budget.deadlineMillis = 0.0001;
+    const DesignResponse response = client.design(request);
+    (void)response; // ok, degraded, or error — all legal outcomes here
+
+    const std::string debug = client.fetchDebug();
+    const JsonValue parsed = JsonValue::parse(debug); // strict
+    const JsonValue *slow = parsed.find("slowRequests");
+    ASSERT_NE(slow, nullptr);
+    ASSERT_FALSE(slow->items().empty());
+    const JsonValue &capture = slow->items()[0];
+    EXPECT_EQ(capture.find("id")->asInt(), 71);
+    EXPECT_EQ(capture.find("tenant")->asString(), "test");
+    EXPECT_EQ(capture.find("class")->asString(), "interactive");
+    EXPECT_DOUBLE_EQ(capture.find("deadlineMillis")->asNumber(), 0.0001);
+    EXPECT_GE(capture.find("totalMillis")->asNumber(),
+              capture.find("queueMillis")->asNumber());
+    ASSERT_NE(capture.find("outcome"), nullptr);
+    ASSERT_NE(capture.find("degraded"), nullptr);
+#ifndef AUTOFSM_NO_TELEMETRY
+    // Slow-ring sampling recorded the span tree without an opt-in.
+    ASSERT_NE(capture.find("spans"), nullptr);
+    EXPECT_FALSE(capture.find("spans")->items().empty());
+#endif
+
+    // A request inside its deadline does not join the ring.
+    const size_t before = slow->items().size();
+    const DesignResponse fine =
+        client.design(outcomesRequest(72, syntheticTrace(8)));
+    ASSERT_TRUE(fine.ok) << fine.error.detail;
+    const JsonValue again = JsonValue::parse(client.fetchDebug());
+    EXPECT_EQ(again.find("slowRequests")->items().size(), before);
+}
+
+TEST_F(ServerTest, RequestDurationHistogramInScrape)
+{
+    startServer();
+    serve::Client client = connect();
+    const DesignResponse response =
+        client.design(outcomesRequest(81, syntheticTrace(9)));
+    ASSERT_TRUE(response.ok) << response.error.detail;
+
+    const std::string metrics = client.fetchMetrics();
+    EXPECT_NE(
+        metrics.find("autofsm_serve_request_duration_seconds_bucket"
+                     "{class=\"interactive\",outcome=\"ok\""),
+        std::string::npos);
+    // The queue-wait vs service-time split is scraped alongside it
+    // (bucket lines carry the le label after the class).
+    EXPECT_NE(metrics.find("autofsm_serve_request_queue_seconds_bucket"
+                           "{class=\"interactive\",le="),
+              std::string::npos);
+    EXPECT_NE(metrics.find("autofsm_serve_request_service_seconds_bucket"
+                           "{class=\"interactive\",le="),
+              std::string::npos);
+    // Every class/outcome cell is pre-registered, so dashboards see
+    // zero-valued series before traffic arrives.
+    EXPECT_NE(
+        metrics.find("autofsm_serve_request_duration_seconds_bucket"
+                     "{class=\"bulk\",outcome=\"rejected\""),
+        std::string::npos);
 }
 
 TEST_F(ServerTest, DispatchFaultFailsOneJobStructurally)
