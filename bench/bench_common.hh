@@ -8,18 +8,24 @@
  * exporters in behind `--metrics-out`:
  *
  *     bench_foo [positional...] [--threads=N] [--seed=N]
+ *               [--repeat=N] [--shards=N]
  *               [--metrics-out=FILE] [--metrics-format=json|prom]
  *
  * When `--metrics-format` is omitted it is inferred from the output
  * path: a `.prom` extension selects the Prometheus text format,
  * anything else JSON. Call `exportMetricsIfRequested` once at the end
  * of main to write the global registry's snapshot.
+ *
+ * Timed sections should run through `medianRunMillis` so `--repeat=N`
+ * reports the median of N runs instead of one cold-cache shot.
  */
 
 #ifndef AUTOFSM_BENCH_COMMON_HH
 #define AUTOFSM_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -46,6 +52,18 @@ struct BenchOptions
     /** --seed=N. */
     uint64_t seed = 0;
     bool seedSet = false;
+    /**
+     * --repeat=N: timed sections run N times and report the median
+     * (see medianRunMillis); 1 keeps the historical single-shot timing.
+     */
+    size_t repeat = 1;
+    bool repeatSet = false;
+    /**
+     * --shards=N: trace shards for benches with sharded replays
+     * (0 = the engine's auto choice, 1 = unsharded).
+     */
+    size_t shards = 0;
+    bool shardsSet = false;
     /** --metrics-out=FILE; empty means no export. */
     std::string metricsOut;
     /** "json" or "prom" (set explicitly or inferred from metricsOut). */
@@ -104,7 +122,8 @@ parseBenchArgs(int argc, char **argv, const char *usage)
         std::string_view value;
         if (arg == "-h" || arg == "--help") {
             std::cout << "usage: " << argv[0] << " " << usage << "\n"
-                      << "  [--threads=N] [--seed=N]\n"
+                      << "  [--threads=N] [--seed=N] [--repeat=N] "
+                         "[--shards=N]\n"
                          "  [--metrics-out=FILE] "
                          "[--metrics-format=json|prom]\n"
                          "  [--request-file=FILE] [--trace-out=FILE]\n";
@@ -117,6 +136,18 @@ parseBenchArgs(int argc, char **argv, const char *usage)
             options.seed = std::strtoull(std::string(value).c_str(),
                                          nullptr, 10);
             options.seedSet = true;
+        } else if (consumeFlag(arg, "--repeat=", value)) {
+            options.repeat = std::strtoull(std::string(value).c_str(),
+                                           nullptr, 10);
+            options.repeatSet = true;
+            if (options.repeat == 0) {
+                std::cerr << argv[0] << ": --repeat must be >= 1\n";
+                std::exit(2);
+            }
+        } else if (consumeFlag(arg, "--shards=", value)) {
+            options.shards = std::strtoull(std::string(value).c_str(),
+                                           nullptr, 10);
+            options.shardsSet = true;
         } else if (consumeFlag(arg, "--metrics-out=", value)) {
             options.metricsOut = std::string(value);
         } else if (consumeFlag(arg, "--metrics-format=", value)) {
@@ -151,6 +182,31 @@ parseBenchArgs(int argc, char **argv, const char *usage)
         options.metricsFormat = "prom";
     }
     return options;
+}
+
+/**
+ * Time @p fn options.repeat times and return the median wall time in
+ * milliseconds (upper median for even counts). With the default
+ * --repeat=1 this is exactly the old single-shot measurement; higher
+ * repeats squeeze out cold-cache and scheduler noise without changing
+ * what is timed. @p fn runs repeat times regardless, so it must be
+ * idempotent over the bench's state (replays over read-only traces
+ * are; anything accumulating tallies externally is not).
+ */
+template <typename Fn>
+inline double
+medianRunMillis(const BenchOptions &options, Fn &&fn)
+{
+    std::vector<double> millis(options.repeat ? options.repeat : 1);
+    for (double &sample : millis) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        sample = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    }
+    std::sort(millis.begin(), millis.end());
+    return millis[millis.size() / 2];
 }
 
 /**

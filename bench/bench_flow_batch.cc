@@ -257,16 +257,22 @@ main(int argc, char **argv)
     overhead_batch.threads = 4;
     overhead_batch.memoize = false;
 
-    const auto off_start = std::chrono::steady_clock::now();
-    const auto off_results =
-        BatchDesigner(design, overhead_batch).designAll(models);
-    const double off_ms = millisSince(off_start);
+    // Medians under --repeat: the on/off delta is small relative to
+    // scheduler noise, so one cold shot routinely reported a negative
+    // "tax".
+    std::vector<BatchItemResult> off_results;
+    const double off_ms = bench::medianRunMillis(args, [&] {
+        off_results = BatchDesigner(design, overhead_batch).designAll(models);
+    });
 
     tracer.enable(true);
-    const auto on_start = std::chrono::steady_clock::now();
-    const auto on_results =
-        BatchDesigner(design, overhead_batch).designAll(models);
-    const double on_ms = millisSince(on_start);
+    std::vector<BatchItemResult> on_results;
+    const double on_ms = bench::medianRunMillis(args, [&] {
+        // Keep only the final run's spans so the per-span projection
+        // and the --trace-out export see one batch, not --repeat many.
+        tracer.clear();
+        on_results = BatchDesigner(design, overhead_batch).designAll(models);
+    });
     tracer.enable(false);
     const std::vector<obs::SpanRecord> spans = tracer.drain();
     if (!args.traceOut.empty()) {

@@ -7,6 +7,7 @@
 
 #include "automata/dfa_io.hh"
 #include "fsmgen/profile.hh"
+#include "sim/bitsliced.hh"
 #include "support/failpoint.hh"
 #include "support/json.hh"
 
@@ -277,6 +278,12 @@ DesignRequest::validate() const
                 " is not a 0/1 bit");
         }
     }
+    if (evaluate && model.has_value()) {
+        throw std::invalid_argument(
+            "DesignRequest: evaluate requires an outcome-bearing source "
+            "(traceRef or outcomes); a pre-trained model carries no "
+            "stream to replay");
+    }
 }
 
 void
@@ -315,6 +322,25 @@ resolveRequestModel(const DesignRequest &request)
     MarkovModel model(request.options.order);
     model.train(*outcomes);
     return model;
+}
+
+std::vector<int>
+resolveRequestOutcomes(const DesignRequest &request)
+{
+    if (!request.outcomes.empty())
+        return request.outcomes;
+    if (request.traceRef.empty()) {
+        throw std::invalid_argument(
+            "DesignRequest: no outcome stream to evaluate (source is a "
+            "pre-trained model)");
+    }
+    const TraceRefResolver resolver = traceRefResolver();
+    if (resolver == nullptr) {
+        throw std::invalid_argument(
+            "DesignRequest: traceRef '" + request.traceRef +
+            "' given but no trace resolver is installed");
+    }
+    return resolver(request.traceRef, request.traceBranches);
 }
 
 FlowResult
@@ -368,7 +394,23 @@ designService(const DesignRequest &request)
     DesignResponse response;
     response.id = request.id;
     try {
-        return designResponseFromFlow(request, runDesignRequest(request));
+        const FlowResult flow = runDesignRequest(request);
+        response = designResponseFromFlow(request, flow);
+        if (request.evaluate) {
+            // Single-request evaluation path; the batch engine groups
+            // shared-stream requests into one multi-lane replay instead.
+            const std::vector<int> outcomes =
+                resolveRequestOutcomes(request);
+            const std::vector<uint64_t> words = packOutcomeWords(outcomes);
+            const std::vector<BitslicedMachine> machines = {
+                {&flow.design.fsm, nullptr}};
+            const std::vector<uint64_t> misses = replayMachinesBitsliced(
+                machines, words.data(), outcomes.size());
+            response.evaluated = true;
+            response.evalBranches = outcomes.size();
+            response.evalMisses = misses[0];
+        }
+        return response;
     } catch (const FlowError &e) {
         response.error = {e.stage(), errorKindName(e.kind()), e.detail()};
     } catch (const InjectedFault &e) {
@@ -434,6 +476,9 @@ toJson(const DesignRequest &request)
     // common case under their strict parsers.
     if (request.trace)
         json.key("trace").value(true);
+    // Same compatibility rule as trace: only opted-in requests carry it.
+    if (request.evaluate)
+        json.key("evaluate").value(true);
     json.endObject();
     return out.str();
 }
@@ -477,6 +522,13 @@ toJson(const DesignResponse &response)
             json.endObject();
         }
         json.endArray();
+    }
+    // Emitted only when the evaluation stage ran, so pre-evaluation
+    // clients keep accepting common responses under strict parsing.
+    if (response.evaluated) {
+        json.key("evaluated").value(true);
+        json.key("evalBranches").value(response.evalBranches);
+        json.key("evalMisses").value(response.evalMisses);
     }
     if (!response.ok) {
         json.key("error");
@@ -581,7 +633,7 @@ designRequestFromJson(const JsonValue &value)
     rejectUnknownFields(value,
                         {"id", "tenant", "class", "traceRef",
                          "traceBranches", "outcomes", "model", "options",
-                         "trace"},
+                         "trace", "evaluate"},
                         "DesignRequest");
     DesignRequest request;
     if (const JsonValue *v = value.find("id"))
@@ -617,6 +669,8 @@ designRequestFromJson(const JsonValue &value)
         request.options = fsmDesignOptionsFromJson(*v);
     if (const JsonValue *v = value.find("trace"))
         request.trace = v->asBool();
+    if (const JsonValue *v = value.find("evaluate"))
+        request.evaluate = v->asBool();
     request.validate();
     return request;
 }
@@ -629,7 +683,8 @@ designResponseFromJson(const JsonValue &value)
                          "statesHopcroft", "statesFinal", "coverCubes",
                          "designMillis", "attempts", "fromMemo",
                          "fromCache", "degraded", "fallbacks", "stages",
-                         "trace", "error"},
+                         "trace", "error", "evaluated", "evalBranches",
+                         "evalMisses"},
                         "DesignResponse");
     DesignResponse response;
     if (const JsonValue *v = value.find("id"))
@@ -686,6 +741,12 @@ designResponseFromJson(const JsonValue &value)
             response.trace.push_back(std::move(record));
         }
     }
+    if (const JsonValue *v = value.find("evaluated"))
+        response.evaluated = v->asBool();
+    if (const JsonValue *v = value.find("evalBranches"))
+        response.evalBranches = v->asUint();
+    if (const JsonValue *v = value.find("evalMisses"))
+        response.evalMisses = v->asUint();
     if (const JsonValue *v = value.find("error")) {
         rejectUnknownFields(*v, {"stage", "kind", "detail"}, "error");
         if (const JsonValue *e = v->find("stage"))

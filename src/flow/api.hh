@@ -101,6 +101,18 @@ struct DesignRequest
     bool trace = false;
 
     /**
+     * Opt into evaluation: after a successful design, replay the
+     * designed machine over the request's own behavior stream (dense —
+     * predicting every record) through the bit-sliced engine
+     * (sim/bitsliced.hh) and report evalBranches/evalMisses in the
+     * response. Requires an outcome-bearing source (traceRef or inline
+     * outcomes); a pre-trained model carries no stream to replay.
+     * Requests sharing a (traceRef, traceBranches) stream are evaluated
+     * together in one multi-lane replay by the batch engine.
+     */
+    bool evaluate = false;
+
+    /**
      * The request's observability identity, minted at admission by the
      * serve daemon. In-process metadata — never serialized; wire
      * requests always start with a fresh context.
@@ -176,6 +188,16 @@ struct DesignResponse
      */
     std::vector<obs::SpanRecord> trace;
 
+    /** @name Evaluation stage (set when the request asked to evaluate).
+     * The designed machine's dense replay over the request's stream:
+     * evalMisses mispredictions across evalBranches records.
+     */
+    /// @{
+    bool evaluated = false;
+    uint64_t evalBranches = 0;
+    uint64_t evalMisses = 0;
+    /// @}
+
     /** The classified failure when !ok. */
     DesignError error;
 };
@@ -206,6 +228,17 @@ TraceRefResolver traceRefResolver();
  * @throws std::invalid_argument on validation failure or unknown ref.
  */
 MarkovModel resolveRequestModel(const DesignRequest &request);
+
+/**
+ * Resolve the request's outcome stream: inline outcomes verbatim, or
+ * the traceRef through the installed resolver. This is what the
+ * evaluation stage replays the designed machine against.
+ *
+ * @throws std::invalid_argument when the request's source is a
+ *         pre-trained model (it carries no stream) or the ref cannot
+ *         be resolved.
+ */
+std::vector<int> resolveRequestOutcomes(const DesignRequest &request);
 
 /**
  * The single throwing entry point: validate, resolve the source, run

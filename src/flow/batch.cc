@@ -8,6 +8,7 @@
 
 #include "flow/budget.hh"
 #include "fsmgen/profile.hh"
+#include "sim/bitsliced.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "obs/trace_context.hh"
@@ -40,6 +41,7 @@ struct BatchTelemetry
     obs::Counter retries;
     obs::Counter retrySuccesses;
     obs::Counter degraded;
+    obs::Counter evaluated;
     obs::Histogram queueWait;
     obs::Histogram itemMillis;
 };
@@ -69,6 +71,10 @@ batchTelemetry()
         t.degraded = registry.counter(
             "autofsm_batch_degraded_total",
             "Items that completed via a degraded fallback path.");
+        t.evaluated = registry.counter(
+            "autofsm_batch_evaluated_total",
+            "Items whose designed machine was replayed over its stream "
+            "by the evaluation stage.");
         t.queueWait = registry.histogram(
             "autofsm_batch_queue_wait_millis",
             "Delay between batch start and an item starting to design.",
@@ -318,10 +324,77 @@ BatchDesigner::designRequests(const std::vector<DesignRequest> &requests)
         ++stats_.cacheHits;
     }
 
+    // Phase 4: evaluation. Runs after duplicates are served so cached
+    // items carry their machine too. Equal model content does not imply
+    // an equal stream, so every evaluating request replays its OWN
+    // source; requests naming the same (traceRef, traceBranches) stream
+    // share one resolve and one multi-lane bit-sliced replay. Groups
+    // run serially here — the replay engine fans each one out across
+    // the pool internally (lane groups x trace shards).
+    {
+        std::vector<std::vector<size_t>> groups;
+        std::unordered_map<std::string, size_t> by_stream;
+        for (size_t i = 0; i < requests.size(); ++i) {
+            if (!requests[i].evaluate || !results[i].ok)
+                continue;
+            if (requests[i].traceRef.empty()) {
+                // Inline outcomes: every request is its own stream.
+                groups.push_back({i});
+                continue;
+            }
+            const std::string key = requests[i].traceRef + '\x1f' +
+                std::to_string(requests[i].traceBranches);
+            const auto [it, inserted] =
+                by_stream.emplace(key, groups.size());
+            if (inserted)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+        for (const std::vector<size_t> &group : groups) {
+            obs::SpanScope eval_span(tracer, "batch.evaluate",
+                                     batch_span_id);
+            try {
+                const std::vector<int> outcomes =
+                    resolveRequestOutcomes(requests[group.front()]);
+                const std::vector<uint64_t> words =
+                    packOutcomeWords(outcomes);
+                std::vector<BitslicedMachine> machines(group.size());
+                for (size_t m = 0; m < group.size(); ++m) {
+                    machines[m] = BitslicedMachine{
+                        &results[group[m]].flow.design.fsm, nullptr};
+                }
+                BitslicedOptions replay;
+                replay.threads = options_.threads;
+                replay.pool = options_.pool;
+                const std::vector<uint64_t> misses =
+                    replayMachinesBitsliced(machines, words.data(),
+                                            outcomes.size(), replay);
+                for (size_t m = 0; m < group.size(); ++m) {
+                    BatchItemResult &slot = results[group[m]];
+                    slot.evaluated = true;
+                    slot.evalBranches = outcomes.size();
+                    slot.evalMisses = misses[m];
+                }
+            } catch (...) {
+                // An unevaluable stream fails the whole group: the
+                // caller asked for numbers this engine cannot produce,
+                // and an ok response with silently-missing evaluation
+                // would misreport that.
+                for (const size_t i : group) {
+                    classifyFailure(results[i],
+                                    std::current_exception());
+                    results[i].ok = false;
+                    results[i].errorStage = "evaluate";
+                }
+            }
+        }
+    }
+
     stats_.designed = unique.size();
     for (const auto &result : results) {
         stats_.failures += !result.ok;
         stats_.degraded += result.degraded;
+        stats_.evaluated += result.evaluated;
         if (!result.fromCache && result.attempts > 1)
             stats_.retries += static_cast<size_t>(result.attempts) - 1;
     }
@@ -332,6 +405,7 @@ BatchDesigner::designRequests(const std::vector<DesignRequest> &requests)
     telemetry.cacheHits.inc(stats_.cacheHits);
     telemetry.failures.inc(stats_.failures);
     telemetry.degraded.inc(stats_.degraded);
+    telemetry.evaluated.inc(stats_.evaluated);
     return results;
 }
 
@@ -378,6 +452,9 @@ designResponseFromItem(const DesignRequest &request,
             designResponseFromFlow(request, item.flow);
         response.attempts = item.attempts;
         response.fromCache = item.fromCache;
+        response.evaluated = item.evaluated;
+        response.evalBranches = item.evalBranches;
+        response.evalMisses = item.evalMisses;
         return response;
     }
     DesignResponse response;

@@ -100,6 +100,15 @@ struct BatchItemResult
     std::string errorKind;
     /** Failing flow stage when !ok ("minimize", ...), "api" otherwise. */
     std::string errorStage;
+    /** @name Evaluation stage (when the request set evaluate and ok).
+     * Dense replay of the designed machine over the request's own
+     * stream; see DesignRequest::evaluate.
+     */
+    /// @{
+    bool evaluated = false;
+    uint64_t evalBranches = 0;
+    uint64_t evalMisses = 0;
+    /// @}
     /** Design artifacts and stage observations (valid when ok). */
     FlowResult flow;
 };
@@ -113,6 +122,7 @@ struct BatchStats
     size_t failures = 0;  ///< items whose flow threw terminally
     size_t retries = 0;   ///< extra attempts consumed by the retry policy
     size_t degraded = 0;  ///< items that succeeded via a fallback path
+    size_t evaluated = 0; ///< items whose evaluation replay ran
 };
 
 /** Parallel batch front end over DesignFlow. */
@@ -145,6 +155,13 @@ class BatchDesigner
      * against requests with identical model content *and* identical
      * design options, and designed under its own `options` with the
      * retry policy.
+     *
+     * Requests with `evaluate` set additionally replay their designed
+     * machine over their own behavior stream (dense) after design.
+     * Equal model content does not imply an equal stream, so every
+     * evaluating request replays its own source; requests naming the
+     * same (traceRef, traceBranches) share one stream resolve and one
+     * multi-lane bit-sliced replay (sim/bitsliced.hh).
      *
      * @return One result per input, in input order.
      */

@@ -114,7 +114,7 @@ evaluateFigure5(const std::string &benchmark,
     const CustomReplayCounts diff_counts =
         replayCustomMachines(machines, packed_test,
                              options.training.baseline, costs,
-                             sweep_threads);
+                             sweep_threads, options.replayShards);
     {
         BpredSimResult r;
         r.branches = packed_test.size();
@@ -202,11 +202,13 @@ evaluateFigure5(const std::string &benchmark,
             baseline.positions.push_back(&branch.trainPositions);
         }
         same_counts = replayCustomMachines(machines, packed_train,
-                                           baseline, sweep_threads);
+                                           baseline, sweep_threads,
+                                           options.replayShards);
     } else {
         same_counts = replayCustomMachines(machines, packed_train,
                                            options.training.baseline,
-                                           costs, sweep_threads);
+                                           costs, sweep_threads,
+                                           options.replayShards);
     }
     result.customSame = customSeries(trained, same_counts,
                                      packed_train.size(), "custom-same",

@@ -69,6 +69,12 @@ struct Fig5Options
      * to 1 so benchmark- and sweep-level parallelism don't multiply.
      */
     unsigned sweepThreads = 0;
+    /**
+     * Trace shards for the custom-machine replays (the bit-sliced
+     * engine's sharded evaluation; 0 = auto from sweepThreads,
+     * 1 = unsharded). Tallies are bit-identical for any value.
+     */
+    size_t replayShards = 0;
 };
 
 /**

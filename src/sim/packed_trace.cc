@@ -1,9 +1,12 @@
 #include "sim/packed_trace.hh"
 
+#include <chrono>
 #include <future>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "obs/metrics.hh"
 
 namespace autofsm
 {
@@ -32,10 +35,15 @@ struct PackCache
         /** Pins the source so the pointer key cannot be recycled. */
         std::shared_ptr<const BranchTrace> trace;
         std::shared_future<PackedPtr> packed;
+        /** Logical clock of the last lookup, for LRU eviction. */
+        uint64_t lastUse = 0;
     };
 
     std::mutex mutex;
     std::unordered_map<const BranchTrace *, Entry> entries;
+    uint64_t evictions = 0;
+    uint64_t clock = 0;
+    size_t capacity = 32;
 };
 
 PackCache &
@@ -43,6 +51,52 @@ packCache()
 {
     static PackCache instance;
     return instance;
+}
+
+/**
+ * Drop LRU completed packings until the map fits the cap. Caller holds
+ * the lock; in-flight packings are never evicted (the dedup contract),
+ * so the map can transiently exceed the cap while builds race.
+ */
+size_t
+evictPackingsOverCap(PackCache &c)
+{
+    size_t dropped = 0;
+    while (c.capacity != 0 && c.entries.size() > c.capacity) {
+        auto victim = c.entries.end();
+        for (auto it = c.entries.begin(); it != c.entries.end(); ++it) {
+            if (it->second.packed.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+                continue;
+            }
+            if (victim == c.entries.end() ||
+                it->second.lastUse < victim->second.lastUse) {
+                victim = it;
+            }
+        }
+        if (victim == c.entries.end())
+            break;
+        c.entries.erase(victim);
+        ++c.evictions;
+        ++dropped;
+    }
+    return dropped;
+}
+
+void
+publishPackEvictions(size_t dropped)
+{
+    obs::MetricsRegistry &registry = obs::globalMetrics();
+    if (dropped == 0 || !registry.enabled())
+        return;
+    // Shared with workloads/trace_cache.cc: one counter covers both
+    // process-wide trace caches.
+    registry
+        .counter("autofsm_tracecache_evictions_total",
+                 "Completed entries dropped by the LRU caps of the "
+                 "process-wide trace caches (branch traces and packed "
+                 "conversions).")
+        .inc(dropped);
 }
 
 } // anonymous namespace
@@ -55,17 +109,22 @@ cachedPackedTrace(const std::shared_ptr<const BranchTrace> &trace)
     std::shared_future<PackedPtr> future;
     std::promise<PackedPtr> promise;
     bool creator = false;
+    size_t dropped = 0;
     {
         std::lock_guard<std::mutex> lock(c.mutex);
         const auto it = c.entries.find(trace.get());
         if (it != c.entries.end()) {
+            it->second.lastUse = ++c.clock;
             future = it->second.packed;
         } else {
             future = promise.get_future().share();
-            c.entries.emplace(trace.get(), PackCache::Entry{trace, future});
+            c.entries.emplace(
+                trace.get(), PackCache::Entry{trace, future, ++c.clock});
+            dropped = evictPackingsOverCap(c);
             creator = true;
         }
     }
+    publishPackEvictions(dropped);
 
     if (creator) {
         // Packing is pure, so build outside the lock; concurrent
@@ -76,12 +135,41 @@ cachedPackedTrace(const std::shared_ptr<const BranchTrace> &trace)
     return future.get();
 }
 
+PackedTraceCacheStats
+packedTraceCacheStats()
+{
+    PackCache &c = packCache();
+    PackedTraceCacheStats stats;
+    std::lock_guard<std::mutex> lock(c.mutex);
+    stats.entries = c.entries.size();
+    stats.evictions = c.evictions;
+    stats.capacity = c.capacity;
+    return stats;
+}
+
+size_t
+setPackedTraceCacheCapacity(size_t capacity)
+{
+    PackCache &c = packCache();
+    size_t dropped = 0;
+    size_t previous = 0;
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        previous = c.capacity;
+        c.capacity = capacity;
+        dropped = evictPackingsOverCap(c);
+    }
+    publishPackEvictions(dropped);
+    return previous;
+}
+
 void
 clearPackedTraceCache()
 {
     PackCache &c = packCache();
     std::lock_guard<std::mutex> lock(c.mutex);
     c.entries.clear();
+    c.evictions = 0;
 }
 
 } // namespace autofsm

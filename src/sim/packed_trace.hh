@@ -65,9 +65,35 @@ class PackedTrace
  * process is converted once. Entries pin their source trace, which
  * keeps the pointer key unambiguous for the life of the cache.
  * Thread-safe; concurrent callers for one trace share a single build.
+ *
+ * The memo is capped (setPackedTraceCacheCapacity): past the cap the
+ * least-recently-used completed packing (and its trace pin) is
+ * dropped, counted in autofsm_tracecache_evictions_total — the counter
+ * shared with workloads/trace_cache.hh. Outstanding shared_ptrs stay
+ * valid; in-flight packings are never evicted.
  */
 std::shared_ptr<const PackedTrace>
 cachedPackedTrace(const std::shared_ptr<const BranchTrace> &trace);
+
+/** Point-in-time tallies of the packing memo. */
+struct PackedTraceCacheStats
+{
+    size_t entries = 0;
+    /** Completed packings dropped by the LRU cap. */
+    uint64_t evictions = 0;
+    /** The current cap (entries; 0 = unlimited). */
+    size_t capacity = 0;
+};
+
+/** Current memo tallies. */
+PackedTraceCacheStats packedTraceCacheStats();
+
+/**
+ * Cap the memo at @p capacity packings (0 = unlimited). Lowering the
+ * cap evicts LRU completed entries immediately. Returns the previous
+ * cap; the default is 32.
+ */
+size_t setPackedTraceCacheCapacity(size_t capacity);
 
 /** Drop every memoized packing (and the trace pins). */
 void clearPackedTraceCache();

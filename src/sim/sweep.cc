@@ -1,6 +1,7 @@
 #include "sim/sweep.hh"
 
 #include "obs/metrics.hh"
+#include "sim/bitsliced.hh"
 #include "support/thread_pool.hh"
 
 namespace autofsm
@@ -15,146 +16,9 @@ sweepPointHistogram()
     static obs::Histogram histogram = obs::globalMetrics().histogram(
         "autofsm_sweep_point_millis",
         "Kernel time of one sweep point (one predictor replay or one "
-        "custom machine replay).",
+        "batched custom-machine replay).",
         obs::defaultLatencyBucketsMillis());
     return histogram;
-}
-
-/**
- * A trained FSM flattened for replay: Moore outputs plus a dense
- * `next[2*state + outcome]` table. Machines small enough for 8-bit
- * state ids (the common case by far; Figure 4 machines top out well
- * below 256 states) additionally get a byte-composition table:
- * `chunk[c * states + s]` is the state reached from s after applying
- * the 8 outcomes of byte c LSB-first, letting the replay consume the
- * outcome bitstream a byte at a time between predictions.
- */
-struct FlatFsm
-{
-    explicit FlatFsm(const Dfa &dfa)
-        : states(dfa.numStates()), start(dfa.start())
-    {
-        out.resize(static_cast<size_t>(states));
-        for (int s = 0; s < states; ++s)
-            out[static_cast<size_t>(s)] =
-                static_cast<uint8_t>(dfa.output(s) ? 1 : 0);
-
-        if (states <= 256) {
-            next8.resize(static_cast<size_t>(states) * 2);
-            for (int s = 0; s < states; ++s) {
-                next8[static_cast<size_t>(s) * 2 + 0] =
-                    static_cast<uint8_t>(dfa.next(s, 0));
-                next8[static_cast<size_t>(s) * 2 + 1] =
-                    static_cast<uint8_t>(dfa.next(s, 1));
-            }
-        } else {
-            nextWide.resize(static_cast<size_t>(states) * 2);
-            for (int s = 0; s < states; ++s) {
-                nextWide[static_cast<size_t>(s) * 2 + 0] = dfa.next(s, 0);
-                nextWide[static_cast<size_t>(s) * 2 + 1] = dfa.next(s, 1);
-            }
-        }
-
-        // The composition table costs 2048*states steps to build and
-        // 256*states bytes to hold; only worth it (and L1-resident)
-        // for small machines.
-        if (states <= 64) {
-            chunk.resize(256 * static_cast<size_t>(states));
-            for (unsigned c = 0; c < 256; ++c) {
-                for (int s = 0; s < states; ++s) {
-                    uint32_t state = static_cast<uint32_t>(s);
-                    for (int bit = 0; bit < 8; ++bit)
-                        state = next8[state * 2 + ((c >> bit) & 1)];
-                    chunk[c * static_cast<size_t>(states) +
-                          static_cast<size_t>(s)] =
-                        static_cast<uint8_t>(state);
-                }
-            }
-        }
-
-        // The 4-outcome table is 16x cheaper to build and at most 4 KiB,
-        // so every byte-indexable machine gets one; it both serves
-        // machines too big for the byte table and mops up the sub-byte
-        // gaps between predictions for machines that have it.
-        if (states <= 256) {
-            nibble.resize(16 * static_cast<size_t>(states));
-            for (unsigned c = 0; c < 16; ++c) {
-                for (int s = 0; s < states; ++s) {
-                    uint32_t state = static_cast<uint32_t>(s);
-                    for (int bit = 0; bit < 4; ++bit)
-                        state = next8[state * 2 + ((c >> bit) & 1)];
-                    nibble[c * static_cast<size_t>(states) +
-                           static_cast<size_t>(s)] =
-                        static_cast<uint8_t>(state);
-                }
-            }
-        }
-    }
-
-    int states;
-    int start;
-    std::vector<uint8_t> out;
-    std::vector<uint8_t> next8;  ///< states <= 256
-    std::vector<int> nextWide;   ///< states > 256
-    std::vector<uint8_t> chunk;  ///< 8-outcome composition (states <= 64)
-    std::vector<uint8_t> nibble; ///< 4-outcome composition (states <= 256)
-};
-
-/**
- * Replay one machine over the outcome bitstream: predict (and count a
- * miss) at each of its branch's positions, step on every outcome. The
- * next-state table is indexed through @p next so the narrow and wide
- * layouts share one loop.
- */
-template <typename NextTable>
-uint64_t
-replayStream(const FlatFsm &fsm, const NextTable &next,
-             const uint64_t *words, size_t n,
-             const std::vector<uint32_t> &positions)
-{
-    uint64_t misses = 0;
-    uint32_t state = static_cast<uint32_t>(fsm.start);
-    const bool chunked = !fsm.chunk.empty();
-    const bool nibbled = !fsm.nibble.empty();
-    const size_t states = static_cast<size_t>(fsm.states);
-    size_t p = 0;
-    const size_t npos = positions.size();
-    size_t i = 0;
-    while (i < n) {
-        const size_t next_match = p < npos ? positions[p] : n;
-        if (chunked && (i & 7) == 0 && i + 8 <= n && next_match >= i + 8) {
-            const uint8_t c = static_cast<uint8_t>(
-                (words[i >> 6] >> (i & 63)) & 0xff);
-            state = fsm.chunk[static_cast<size_t>(c) * states + state];
-            i += 8;
-            continue;
-        }
-        if (nibbled && (i & 3) == 0 && i + 4 <= n && next_match >= i + 4) {
-            const uint8_t c = static_cast<uint8_t>(
-                (words[i >> 6] >> (i & 63)) & 0xf);
-            state = fsm.nibble[static_cast<size_t>(c) * states + state];
-            i += 4;
-            continue;
-        }
-        const uint8_t bit = static_cast<uint8_t>(
-            (words[i >> 6] >> (i & 63)) & 1ULL);
-        if (i == next_match) {
-            misses += static_cast<uint64_t>(fsm.out[state] != bit);
-            ++p;
-        }
-        state = static_cast<uint32_t>(next[state * 2 + bit]);
-        ++i;
-    }
-    return misses;
-}
-
-uint64_t
-replayOne(const FlatFsm &fsm, const uint64_t *words, size_t n,
-          const std::vector<uint32_t> &positions)
-{
-    if (!fsm.next8.empty())
-        return replayStream(fsm, fsm.next8, words, n, positions);
-    return replayStream(fsm, fsm.nextWide, words, n, positions);
 }
 
 } // anonymous namespace
@@ -194,7 +58,8 @@ SweepPointTimer::~SweepPointTimer()
 CustomReplayCounts
 replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
                      const PackedTrace &trace, const BtbConfig &btb_config,
-                     const AreaCosts &costs, unsigned threads)
+                     const AreaCosts &costs, unsigned threads,
+                     size_t shards)
 {
     CustomReplayCounts counts;
     const size_t k = machines.size();
@@ -257,14 +122,17 @@ replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
     counts.btbLookups = btb.lookups();
     counts.btbHits = btb.hits();
 
-    parallelFor(
-        k,
-        [&](size_t m) {
-            SweepPointTimer timer;
-            const FlatFsm flat(*machines[m].fsm);
-            counts.fsmMisses[m] = replayOne(flat, words, n, positions[m]);
-        },
-        threads);
+    {
+        SweepPointTimer timer;
+        std::vector<BitslicedMachine> sliced(k);
+        for (size_t m = 0; m < k; ++m)
+            sliced[m] = BitslicedMachine{machines[m].fsm, &positions[m]};
+        BitslicedOptions options;
+        options.threads = threads;
+        options.shards = shards;
+        counts.fsmMisses =
+            replayMachinesBitsliced(sliced, words, n, options);
+    }
 
     return counts;
 }
@@ -272,7 +140,8 @@ replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
 CustomReplayCounts
 replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
                      const PackedTrace &trace,
-                     const CustomBaselineProfile &baseline, unsigned threads)
+                     const CustomBaselineProfile &baseline, unsigned threads,
+                     size_t shards)
 {
     CustomReplayCounts counts;
     const size_t k = machines.size();
@@ -292,18 +161,24 @@ replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
     const size_t n = trace.size();
     const uint64_t *words = trace.takenWords().data();
     static const std::vector<uint32_t> no_positions;
-    parallelFor(
-        k,
-        [&](size_t m) {
-            SweepPointTimer timer;
-            const FlatFsm flat(*machines[m].fsm);
+    {
+        SweepPointTimer timer;
+        std::vector<BitslicedMachine> sliced(k);
+        for (size_t m = 0; m < k; ++m) {
+            // An absent positions list means "this machine never
+            // predicts" (sparse-empty), not dense mode.
             const std::vector<uint32_t> *positions =
                 m < baseline.positions.size() && baseline.positions[m]
                     ? baseline.positions[m]
                     : &no_positions;
-            counts.fsmMisses[m] = replayOne(flat, words, n, *positions);
-        },
-        threads);
+            sliced[m] = BitslicedMachine{machines[m].fsm, positions};
+        }
+        BitslicedOptions options;
+        options.threads = threads;
+        options.shards = shards;
+        counts.fsmMisses =
+            replayMachinesBitsliced(sliced, words, n, options);
+    }
 
     return counts;
 }

@@ -27,10 +27,11 @@
  *    areas are bit-exact replicas of the classes (sweep_test proves it
  *    against the virtual path on every benchmark).
  *  - `replayCustomMachines`: the transposed custom-curve evaluation -
- *    instead of stepping every trained FSM on every record, each machine
- *    is compiled to a flat transition table and replayed independently
- *    over the packed outcome bitstream. Machines are independent, so the
- *    replays fan out across `parallelFor` workers.
+ *    instead of stepping every trained FSM on every record, machines are
+ *    compiled into lane groups and replayed together over the packed
+ *    outcome bitstream by the bit-sliced engine (sim/bitsliced.hh),
+ *    which also shards long traces across workers with exact
+ *    warm-up-edge replay at the shard boundaries.
  *
  * Results are bit-identical to the serial seed path; sweep_test and
  * bench_sim_sweep assert this.
@@ -651,11 +652,11 @@ struct CustomReplayCounts
 /**
  * Transposed custom-curve evaluation. One serial baseline pass drives
  * the BTB (a single stateful chain) and records, per machine, where its
- * branch executes and how often the baseline missed it; then each
- * machine is compiled to a flat `next[2*S]` transition table and
- * replayed independently over the packed outcome bitstream (machines
- * observe the global outcome stream only, so the replays are
- * embarrassingly parallel and fan out across @p threads workers).
+ * branch executes and how often the baseline missed it; the machines
+ * then replay together over the packed outcome bitstream through the
+ * bit-sliced engine (up to 64 per word-op, trace sharded across
+ * @p threads workers; @p shards 0 picks a shard count automatically,
+ * any value is tally-identical).
  *
  * Counts are bit-identical to the seed loop that stepped every machine
  * on every record.
@@ -663,7 +664,8 @@ struct CustomReplayCounts
 CustomReplayCounts
 replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
                      const PackedTrace &trace, const BtbConfig &btb_config,
-                     const AreaCosts &costs, unsigned threads = 0);
+                     const AreaCosts &costs, unsigned threads = 0,
+                     size_t shards = 0);
 
 /**
  * Baseline-pass artifacts recorded by an earlier profiling stage over
@@ -695,7 +697,7 @@ CustomReplayCounts
 replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
                      const PackedTrace &trace,
                      const CustomBaselineProfile &baseline,
-                     unsigned threads = 0);
+                     unsigned threads = 0, size_t shards = 0);
 
 } // namespace autofsm
 

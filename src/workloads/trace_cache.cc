@@ -19,20 +19,77 @@ using TracePtr = std::shared_ptr<const BranchTrace>;
 
 struct TraceCache
 {
+    struct Entry
+    {
+        std::shared_future<TracePtr> future;
+        /** Logical clock of the last lookup, for LRU eviction. */
+        uint64_t lastUse = 0;
+    };
+
     std::mutex mutex;
     /** Futures, not values: a key's first caller installs the future,
      *  builds outside the lock, and fulfills it; concurrent callers of
      *  the same key wait instead of rebuilding. */
-    std::unordered_map<std::string, std::shared_future<TracePtr>> entries;
+    std::unordered_map<std::string, Entry> entries;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t clock = 0;
+    size_t capacity = 64;
 };
+
+/**
+ * Drop LRU *completed* entries until the map fits @p capacity. Caller
+ * holds the lock. In-flight builds are never evicted (their waiters
+ * and the dedup contract depend on the entry), so the map can
+ * transiently exceed the cap while many builds race; it shrinks on the
+ * next insertion after they complete.
+ */
+template <typename Map>
+size_t
+evictOverCap(Map &entries, size_t capacity, uint64_t &evictions)
+{
+    size_t dropped = 0;
+    while (capacity != 0 && entries.size() > capacity) {
+        auto victim = entries.end();
+        for (auto it = entries.begin(); it != entries.end(); ++it) {
+            if (it->second.future.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+                continue;
+            }
+            if (victim == entries.end() ||
+                it->second.lastUse < victim->second.lastUse) {
+                victim = it;
+            }
+        }
+        if (victim == entries.end())
+            break; // everything over the cap is still building
+        entries.erase(victim);
+        ++evictions;
+        ++dropped;
+    }
+    return dropped;
+}
 
 TraceCache &
 cache()
 {
     static TraceCache instance;
     return instance;
+}
+
+void
+publishEvictions(size_t dropped)
+{
+    obs::MetricsRegistry &registry = obs::globalMetrics();
+    if (dropped == 0 || !registry.enabled())
+        return;
+    registry
+        .counter("autofsm_tracecache_evictions_total",
+                 "Completed entries dropped by the LRU caps of the "
+                 "process-wide trace caches (branch traces and packed "
+                 "conversions).")
+        .inc(dropped);
 }
 
 void
@@ -75,20 +132,25 @@ cachedBranchTrace(const std::string &name, WorkloadInput input,
     std::shared_future<TracePtr> future;
     std::promise<TracePtr> promise;
     bool creator = false;
+    size_t dropped = 0;
     {
         std::lock_guard<std::mutex> lock(c.mutex);
         const auto it = c.entries.find(key);
         if (it != c.entries.end()) {
-            future = it->second;
+            it->second.lastUse = ++c.clock;
+            future = it->second.future;
             ++c.hits;
         } else {
             future = promise.get_future().share();
-            c.entries.emplace(key, future);
+            c.entries.emplace(key,
+                              TraceCache::Entry{future, ++c.clock});
+            dropped = evictOverCap(c.entries, c.capacity, c.evictions);
             creator = true;
             ++c.misses;
         }
     }
     publishCacheCounters(!creator);
+    publishEvictions(dropped);
 
     if (creator) {
         try {
@@ -120,18 +182,36 @@ branchTraceCacheStats()
     stats.hits = c.hits;
     stats.misses = c.misses;
     stats.entries = c.entries.size();
-    for (const auto &[key, future] : c.entries) {
-        if (future.wait_for(std::chrono::seconds(0)) ==
+    stats.evictions = c.evictions;
+    stats.capacity = c.capacity;
+    for (const auto &[key, entry] : c.entries) {
+        if (entry.future.wait_for(std::chrono::seconds(0)) ==
             std::future_status::ready) {
             // Completed builds only; in-flight entries count as zero.
             try {
-                stats.cachedBranches += future.get()->size();
+                stats.cachedBranches += entry.future.get()->size();
             } catch (...) {
                 // A failing entry is being erased by its creator.
             }
         }
     }
     return stats;
+}
+
+size_t
+setBranchTraceCacheCapacity(size_t capacity)
+{
+    TraceCache &c = cache();
+    size_t dropped = 0;
+    size_t previous = 0;
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        previous = c.capacity;
+        c.capacity = capacity;
+        dropped = evictOverCap(c.entries, c.capacity, c.evictions);
+    }
+    publishEvictions(dropped);
+    return previous;
 }
 
 void
@@ -142,6 +222,7 @@ clearBranchTraceCache()
     c.entries.clear();
     c.hits = 0;
     c.misses = 0;
+    c.evictions = 0;
 }
 
 } // namespace autofsm

@@ -12,6 +12,13 @@
  * (the first caller constructs, the rest wait on a shared future), so
  * a parallel benchmark fan-out never duplicates work. Hits and misses
  * are exported as autofsm_trace_cache_{hits,misses}_total.
+ *
+ * The cache is capped (setBranchTraceCacheCapacity): past the cap, the
+ * least-recently-used *completed* entry is evicted — in-flight builds
+ * are never dropped, so concurrent callers keep deduplicating — and
+ * counted in autofsm_tracecache_evictions_total (shared with the
+ * packed-trace memo, sim/packed_trace.hh). Outstanding shared_ptrs to
+ * an evicted trace stay valid; only the cache's reference goes away.
  */
 
 #ifndef AUTOFSM_WORKLOADS_TRACE_CACHE_HH
@@ -34,6 +41,10 @@ struct BranchTraceCacheStats
     size_t entries = 0;
     /** Total dynamic branches held across cached traces. */
     uint64_t cachedBranches = 0;
+    /** Completed entries dropped by the LRU cap. */
+    uint64_t evictions = 0;
+    /** The current cap (entries; 0 = unlimited). */
+    size_t capacity = 0;
 };
 
 /**
@@ -47,6 +58,14 @@ cachedBranchTrace(const std::string &name, WorkloadInput input,
 
 /** Current cache tallies (process-wide, monotone hit/miss counts). */
 BranchTraceCacheStats branchTraceCacheStats();
+
+/**
+ * Cap the cache at @p capacity entries (0 = unlimited). Lowering the
+ * cap evicts LRU completed entries immediately. Returns the previous
+ * cap. The default is 64 — roughly benchmarks x inputs x a few trace
+ * lengths, far above any single experiment's working set.
+ */
+size_t setBranchTraceCacheCapacity(size_t capacity);
 
 /**
  * Drop every cached trace (outstanding shared_ptrs stay valid) and

@@ -363,5 +363,73 @@ TEST(TraceCacheTest, ConcurrentCallersShareOneBuild)
     EXPECT_EQ(branchTraceCacheStats().entries, 0u);
 }
 
+TEST(TraceCacheTest, LruCapEvictsColdestCompletedEntry)
+{
+    clearBranchTraceCache();
+    const size_t previous = setBranchTraceCacheCapacity(2);
+
+    const auto a = cachedBranchTrace("gs", WorkloadInput::Train, 2000);
+    const auto b = cachedBranchTrace("gs", WorkloadInput::Test, 2000);
+    // Touch 'a' so 'b' is the LRU victim when 'c' lands.
+    cachedBranchTrace("gs", WorkloadInput::Train, 2000);
+    const auto c = cachedBranchTrace("gsm", WorkloadInput::Train, 2000);
+    (void)c;
+
+    BranchTraceCacheStats stats = branchTraceCacheStats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.capacity, 2u);
+
+    // 'a' survived (it was touched); re-requesting it hits...
+    const uint64_t hits_before = branchTraceCacheStats().hits;
+    const auto a2 = cachedBranchTrace("gs", WorkloadInput::Train, 2000);
+    EXPECT_EQ(a2, a);
+    EXPECT_EQ(branchTraceCacheStats().hits, hits_before + 1);
+    // ...while the evicted 'b' rebuilds (a fresh allocation; the old
+    // shared_ptr stays valid).
+    const auto b2 = cachedBranchTrace("gs", WorkloadInput::Test, 2000);
+    EXPECT_NE(b2, b);
+    EXPECT_EQ(b2->size(), b->size());
+
+    setBranchTraceCacheCapacity(previous);
+    clearBranchTraceCache();
+}
+
+TEST(PackedTraceCacheTest, LruCapEvictsColdestPacking)
+{
+    clearPackedTraceCache();
+    const size_t previous = setPackedTraceCacheCapacity(2);
+
+    auto trace = [](uint64_t seed) {
+        auto t = std::make_shared<BranchTrace>();
+        for (int i = 0; i < 100; ++i)
+            t->push_back({seed * 1000 + static_cast<uint64_t>(i % 7) * 4,
+                          i % 3 == 0});
+        return std::shared_ptr<const BranchTrace>(std::move(t));
+    };
+    const auto t1 = trace(1);
+    const auto t2 = trace(2);
+    const auto t3 = trace(3);
+
+    const auto p1 = cachedPackedTrace(t1);
+    const auto p2 = cachedPackedTrace(t2);
+    cachedPackedTrace(t1); // touch t1: t2 becomes the victim
+    const auto p3 = cachedPackedTrace(t3);
+    (void)p3;
+
+    PackedTraceCacheStats stats = packedTraceCacheStats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.capacity, 2u);
+
+    EXPECT_EQ(cachedPackedTrace(t1), p1);
+    const auto p2_again = cachedPackedTrace(t2);
+    EXPECT_NE(p2_again, p2); // rebuilt after eviction
+    EXPECT_EQ(p2_again->size(), p2->size());
+
+    setPackedTraceCacheCapacity(previous);
+    clearPackedTraceCache();
+}
+
 } // anonymous namespace
 } // namespace autofsm
