@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Throughput of the persistent artifact/trace store: packed-trace
+ * commit (write + fsync + rename), validated mmap load, and the
+ * designed-FSM artifact round-trip. The store sits under the in-memory
+ * caches, so its load path bounds how fast a daemon restart can warm
+ * up and its commit path bounds write-through overhead on a design.
+ *
+ *     bench_store [--benchmark_filter=...]
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "flow/design_flow.hh"
+#include "store/store.hh"
+#include "support/rng.hh"
+
+using namespace autofsm;
+
+namespace
+{
+
+/** A scratch store directory, removed when the benchmark exits. */
+class ScratchStore
+{
+  public:
+    ScratchStore()
+    {
+        std::string tmpl = (std::filesystem::temp_directory_path() /
+                            "autofsm-benchstore-XXXXXX")
+                               .string();
+        dir_ = ::mkdtemp(tmpl.data());
+        store::StoreOptions options;
+        options.dir = dir_;
+        store_ = std::make_unique<store::ArtifactStore>(options);
+    }
+
+    ~ScratchStore()
+    {
+        store_.reset();
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    store::ArtifactStore &operator*() { return *store_; }
+    store::ArtifactStore *operator->() { return store_.get(); }
+
+  private:
+    std::string dir_;
+    std::unique_ptr<store::ArtifactStore> store_;
+};
+
+/** Deterministic packed-trace payload of @p branches branches. */
+void
+syntheticPacked(size_t branches, std::vector<uint64_t> *pcs,
+                std::vector<uint64_t> *words)
+{
+    Rng rng(0xBEEF ^ branches);
+    pcs->resize(branches);
+    words->assign((branches + 63) / 64, 0);
+    for (size_t i = 0; i < branches; ++i) {
+        (*pcs)[i] = 0x400000 + rng.below(4096) * 4;
+        if (rng.chance(0.7))
+            (*words)[i >> 6] |= 1ULL << (i & 63);
+    }
+}
+
+void
+BM_StorePutTrace(benchmark::State &state)
+{
+    const size_t branches = static_cast<size_t>(state.range(0));
+    std::vector<uint64_t> pcs, words;
+    syntheticPacked(branches, &pcs, &words);
+    ScratchStore store;
+    uint64_t key = 0;
+    for (auto _ : state) {
+        // A fresh key each iteration: measure commit, not overwrite.
+        const std::string keyText = "bench-" + std::to_string(key++);
+        benchmark::DoNotOptimize(
+            store->putTrace(keyText, pcs, words, branches));
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(pcs.size() * 8 + words.size() * 8));
+}
+BENCHMARK(BM_StorePutTrace)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_StoreLoadTrace(benchmark::State &state)
+{
+    const size_t branches = static_cast<size_t>(state.range(0));
+    std::vector<uint64_t> pcs, words;
+    syntheticPacked(branches, &pcs, &words);
+    ScratchStore store;
+    store->putTrace("bench", pcs, words, branches);
+    for (auto _ : state) {
+        // Each load re-validates the header and section CRCs, then
+        // maps the payload zero-copy.
+        auto blob = store->loadTrace("bench");
+        benchmark::DoNotOptimize(blob->pcs.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(pcs.size() * 8 + words.size() * 8));
+}
+BENCHMARK(BM_StoreLoadTrace)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_StoreDesignRoundTrip(benchmark::State &state)
+{
+    // One real designed artifact, committed and re-loaded per
+    // iteration: the write-through + warm-start path of design_memo.
+    std::vector<int> trace;
+    Rng rng(0xD15C);
+    for (size_t i = 0; i < 600; ++i)
+        trace.push_back(rng.chance(0.7));
+    FsmDesignOptions options;
+    options.order = 3;
+    const FsmDesignResult design =
+        DesignFlow(options).runOnTrace(trace).design;
+
+    store::DesignArtifact artifact;
+    artifact.order = design.patterns.order;
+    artifact.minimizer = 1;
+    artifact.predictOne = design.patterns.predictOne;
+    artifact.dontCare = design.patterns.dontCare;
+    artifact.cover = design.cover;
+    artifact.regexText = design.regexText;
+    artifact.beforeReduction = design.beforeReduction;
+    artifact.fsm = design.fsm;
+    artifact.statesSubset = design.statesSubset;
+    artifact.statesHopcroft = design.statesHopcroft;
+    artifact.statesFinal = design.statesFinal;
+
+    ScratchStore store;
+    const uint64_t keyHash = store::hashBytes("bench-design");
+    for (auto _ : state) {
+        store->putDesign(keyHash, artifact);
+        auto loaded = store->loadDesign(keyHash);
+        benchmark::DoNotOptimize(loaded->statesFinal);
+    }
+}
+BENCHMARK(BM_StoreDesignRoundTrip);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

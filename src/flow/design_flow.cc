@@ -449,6 +449,10 @@ DesignFlow::runStages(const MarkovModel &model, FlowTrace trace,
         entry->statesSubset = result.statesSubset;
         entry->statesHopcroft = result.statesHopcroft;
         entry->statesFinal = result.statesFinal;
+        for (const StageRecord &stage : out.trace.stages()) {
+            entry->stageMillis.emplace_back(flowStageName(stage.stage),
+                                            stage.millis);
+        }
         designMemoStore(std::move(*memo_key), std::move(entry));
     }
     return out;

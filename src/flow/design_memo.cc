@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hh"
+#include "store/store.hh"
 
 namespace autofsm
 {
@@ -92,7 +93,89 @@ memo()
     return instance;
 }
 
+/** Memory entry -> persistent artifact (key embedded for re-check). */
+store::DesignArtifact
+toArtifact(const DesignMemoKey &key, const DesignMemoEntry &entry)
+{
+    store::DesignArtifact artifact;
+    artifact.order = key.order;
+    artifact.minimizer = key.minimizer;
+    artifact.keepStartupStates = key.keepStartupStates;
+    artifact.predictOne = key.predictOne;
+    artifact.dontCare = key.dontCare;
+    artifact.cover = entry.cover;
+    artifact.regexText = entry.regexText;
+    artifact.beforeReduction = entry.beforeReduction;
+    artifact.fsm = entry.fsm;
+    artifact.statesSubset = entry.statesSubset;
+    artifact.statesHopcroft = entry.statesHopcroft;
+    artifact.statesFinal = entry.statesFinal;
+    artifact.stageMillis = entry.stageMillis;
+    return artifact;
+}
+
+/**
+ * Disk-tier read-through: load the artifact addressed by @p key's hash
+ * and confirm its embedded canonical key is *exactly* @p key — the file
+ * name is only a 64-bit address, so a collision must read as a miss.
+ * Any store failure (including injected read faults) is a miss too.
+ */
+std::shared_ptr<const DesignMemoEntry>
+loadFromStore(const DesignMemoKey &key, uint64_t hash)
+{
+    const std::shared_ptr<store::ArtifactStore> disk = store::globalStore();
+    if (!disk)
+        return nullptr;
+    std::optional<store::DesignArtifact> artifact;
+    try {
+        artifact = disk->loadDesign(hash);
+    } catch (...) {
+        return nullptr;
+    }
+    if (!artifact)
+        return nullptr;
+    if (artifact->order != key.order ||
+        artifact->minimizer != key.minimizer ||
+        artifact->keepStartupStates != key.keepStartupStates ||
+        artifact->predictOne != key.predictOne ||
+        artifact->dontCare != key.dontCare) {
+        return nullptr; // hash collision: not our key
+    }
+    auto entry = std::make_shared<DesignMemoEntry>();
+    entry->cover = std::move(artifact->cover);
+    entry->regexText = std::move(artifact->regexText);
+    entry->beforeReduction = std::move(artifact->beforeReduction);
+    entry->fsm = std::move(artifact->fsm);
+    entry->statesSubset = artifact->statesSubset;
+    entry->statesHopcroft = artifact->statesHopcroft;
+    entry->statesFinal = artifact->statesFinal;
+    entry->stageMillis = std::move(artifact->stageMillis);
+    return entry;
+}
+
+/** Best-effort write-through; never fails the caller. */
+void
+writeToStore(const DesignMemoKey &key, uint64_t hash,
+             const DesignMemoEntry &entry)
+{
+    const std::shared_ptr<store::ArtifactStore> disk = store::globalStore();
+    if (!disk)
+        return;
+    try {
+        disk->putDesign(hash, toArtifact(key, entry));
+    } catch (...) {
+        // Injected mid-commit crash or real IO failure: the store has
+        // already logged and counted it; the design result stands.
+    }
+}
+
 } // anonymous namespace
+
+uint64_t
+designMemoKeyHash(const DesignMemoKey &key)
+{
+    return hashKey(key);
+}
 
 DesignMemoKey
 designMemoKey(const PatternSets &patterns, MinimizeAlgo minimizer,
@@ -106,6 +189,35 @@ designMemoKey(const PatternSets &patterns, MinimizeAlgo minimizer,
     key.dontCare = patterns.dontCare;
     return key;
 }
+
+namespace
+{
+
+/** Insert into the memory tier only (shared by store and promotion). */
+void
+insertMemory(DesignMemoKey key, uint64_t hash,
+             std::shared_ptr<const DesignMemoEntry> entry)
+{
+    Memo &m = memo();
+    size_t entries;
+    {
+        std::lock_guard<std::mutex> lock(m.mutex);
+        if (m.entries >= m.capacity)
+            return;
+        auto &bucket = m.buckets[hash];
+        for (const auto &[stored, existing] : bucket) {
+            if (stored == key)
+                return; // first store wins; entries are equivalent
+        }
+        bucket.emplace_back(std::move(key), std::move(entry));
+        ++m.entries;
+        ++m.insertions;
+        entries = m.entries;
+    }
+    memoTelemetry().entries.set(static_cast<double>(entries));
+}
+
+} // anonymous namespace
 
 std::shared_ptr<const DesignMemoEntry>
 designMemoLookup(const DesignMemoKey &key)
@@ -124,6 +236,16 @@ designMemoLookup(const DesignMemoKey &key)
                 }
             }
         }
+    }
+    if (!found) {
+        // Memory miss: read through to the disk tier and promote, so
+        // the next lookup for this key is a memory hit.
+        found = loadFromStore(key, hash);
+        if (found)
+            insertMemory(key, hash, found);
+    }
+    {
+        std::lock_guard<std::mutex> lock(m.mutex);
         if (found)
             ++m.hits;
         else
@@ -141,23 +263,8 @@ designMemoStore(DesignMemoKey key,
                 std::shared_ptr<const DesignMemoEntry> entry)
 {
     const uint64_t hash = hashKey(key);
-    Memo &m = memo();
-    size_t entries;
-    {
-        std::lock_guard<std::mutex> lock(m.mutex);
-        if (m.entries >= m.capacity)
-            return;
-        auto &bucket = m.buckets[hash];
-        for (const auto &[stored, existing] : bucket) {
-            if (stored == key)
-                return; // first store wins; entries are equivalent
-        }
-        bucket.emplace_back(std::move(key), std::move(entry));
-        ++m.entries;
-        ++m.insertions;
-        entries = m.entries;
-    }
-    memoTelemetry().entries.set(static_cast<double>(entries));
+    writeToStore(key, hash, *entry);
+    insertMemory(std::move(key), hash, std::move(entry));
 }
 
 DesignMemoStats

@@ -21,6 +21,14 @@
  * failpoint is armed (a memo hit would mask the injected fault the test
  * is driving). Hits and misses are counted in
  * `autofsm_designmemo_{hits,misses}_total`.
+ *
+ * When a persistent store is installed (`store::setGlobalStore`, e.g.
+ * the daemon's `--store-dir`), the memo is write-through: a store also
+ * commits the artifact to disk (best effort — an IO failure never fails
+ * the design), and a memory miss consults the disk tier before
+ * reporting a miss, re-verifying the embedded canonical key and
+ * promoting disk hits into the memory memo. Designed FSMs thus survive
+ * restarts and are shared between replicas pointed at one directory.
  */
 
 #ifndef AUTOFSM_FLOW_DESIGN_MEMO_HH
@@ -29,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "automata/dfa.hh"
@@ -68,7 +77,18 @@ struct DesignMemoEntry
     int statesSubset = 0;
     int statesHopcroft = 0;
     int statesFinal = 0;
+    /** Stage timings of the run that computed this entry (name,
+     *  milliseconds); persisted with the disk artifact, informational. */
+    std::vector<std::pair<std::string, double>> stageMillis;
 };
+
+/**
+ * The key's 64-bit content hash — the address the persistent store
+ * files a design artifact under. The full key is embedded alongside the
+ * artifact and re-verified on load, so a hash collision reads as a
+ * miss, never as a wrong answer.
+ */
+uint64_t designMemoKeyHash(const DesignMemoKey &key);
 
 /** Point-in-time tallies of the process-wide memo. */
 struct DesignMemoStats

@@ -1,12 +1,49 @@
 #include "serve/client.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace autofsm::serve
 {
+
+namespace
+{
+
+/** Retry connectTo with capped exponential backoff between attempts. */
+Socket
+connectWithRetries(const std::string &host, uint16_t port,
+                   const ClientOptions &options)
+{
+    const int attempts = std::max(1, options.connectAttempts);
+    long backoff = std::max<long>(1, options.backoffInitialMs);
+    for (int attempt = 1;; ++attempt) {
+        try {
+            return connectTo(host, port);
+        } catch (const NetError &) {
+            if (attempt >= attempts)
+                throw;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min(backoff * 2, std::max<long>(
+                                            backoff, options.backoffMaxMs));
+    }
+}
+
+} // anonymous namespace
 
 Client::Client(const std::string &host, uint16_t port,
                uint32_t maxPayloadBytes)
     : socket_(connectTo(host, port)), decoder_(maxPayloadBytes)
 {
+}
+
+Client::Client(const std::string &host, uint16_t port,
+               const ClientOptions &options)
+    : socket_(connectWithRetries(host, port, options)),
+      decoder_(options.maxPayloadBytes)
+{
+    setSocketTimeouts(socket_, options.timeoutMs);
 }
 
 Frame

@@ -31,12 +31,38 @@ class ServerError : public std::runtime_error
     }
 };
 
+/** Connection-robustness knobs (defaults match the old behavior). */
+struct ClientOptions
+{
+    /** Connect attempts before the constructor gives up (>= 1). */
+    int connectAttempts = 1;
+    /** Backoff before the first reconnect; doubles per attempt. */
+    long backoffInitialMs = 50;
+    /** Backoff cap. */
+    long backoffMaxMs = 2000;
+    /** Per-IO timeout (SO_RCVTIMEO/SO_SNDTIMEO); 0 waits forever. A
+     *  timed-out read surfaces as a NetError from design(). */
+    long timeoutMs = 0;
+    uint32_t maxPayloadBytes = kDefaultMaxPayloadBytes;
+};
+
 class Client
 {
   public:
     /** Connect immediately. @throws NetError when nobody listens. */
     Client(const std::string &host, uint16_t port,
            uint32_t maxPayloadBytes = kDefaultMaxPayloadBytes);
+
+    /**
+     * Connect with retries: up to options.connectAttempts tries with
+     * capped exponential backoff between them, then the configured IO
+     * timeouts armed on the winning socket.
+     *
+     * @throws NetError carrying the last attempt's failure when every
+     *         attempt fails.
+     */
+    Client(const std::string &host, uint16_t port,
+           const ClientOptions &options);
 
     /**
      * Submit @p request and block for its DesignResponse. Admission

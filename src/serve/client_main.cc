@@ -8,6 +8,7 @@
  *                    [--tenant=NAME] [--request-file=FILE] [--metrics]
  *                    [--debug] [--trace] [--dump-trace[=FILE]]
  *                    [--check-json=FILE] [--check-jsonl=FILE]
+ *                    [--timeout-ms=N] [--net-retries=N] [--backoff-ms=N]
  *
  * Drives the autofsm-serve daemon: sends --count design requests (class
  * "mix" cycles interactive/batch/bulk, the smoke job's load), prints a
@@ -27,14 +28,19 @@
  *    these.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "flow/budget.hh"
 #include "obs/export.hh"
 #include "obs/log.hh"
 #include "serve/client.hh"
@@ -129,6 +135,9 @@ main(int argc, char **argv)
     std::string dumpTraceFile;
     std::string checkJson;
     std::string checkJsonl;
+    long timeoutMs = 0;
+    long netRetries = 2;
+    long backoffMs = 50;
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -142,7 +151,9 @@ main(int argc, char **argv)
                    "  [--branches=N] [--order=N] [--tenant=NAME]\n"
                    "  [--request-file=FILE] [--metrics] [--debug]\n"
                    "  [--trace] [--dump-trace[=FILE]]\n"
-                   "  [--check-json=FILE] [--check-jsonl=FILE]\n";
+                   "  [--check-json=FILE] [--check-jsonl=FILE]\n"
+                   "  [--timeout-ms=N] [--net-retries=N] "
+                   "[--backoff-ms=N]\n";
             return 0;
         } else if (arg == "--metrics") {
             metrics = true;
@@ -171,6 +182,12 @@ main(int argc, char **argv)
             branches = std::strtol(text.c_str(), nullptr, 10);
         } else if (flagText(arg, "--order=", &text)) {
             order = std::strtol(text.c_str(), nullptr, 10);
+        } else if (flagText(arg, "--timeout-ms=", &text)) {
+            timeoutMs = std::strtol(text.c_str(), nullptr, 10);
+        } else if (flagText(arg, "--net-retries=", &text)) {
+            netRetries = std::strtol(text.c_str(), nullptr, 10);
+        } else if (flagText(arg, "--backoff-ms=", &text)) {
+            backoffMs = std::strtol(text.c_str(), nullptr, 10);
         } else {
             obs::logError("client.main", "unknown flag",
                           {{"flag", std::string(arg)}});
@@ -188,14 +205,20 @@ main(int argc, char **argv)
         return status;
     }
 
+    serve::ClientOptions clientOptions;
+    clientOptions.connectAttempts = static_cast<int>(netRetries) + 1;
+    clientOptions.backoffInitialMs = backoffMs;
+    clientOptions.timeoutMs = timeoutMs;
+
     try {
-        serve::Client client(host, static_cast<uint16_t>(port));
+        auto client = std::make_unique<serve::Client>(
+            host, static_cast<uint16_t>(port), clientOptions);
         if (metrics) {
-            std::cout << client.fetchMetrics();
+            std::cout << client->fetchMetrics();
             return 0;
         }
         if (debug) {
-            std::cout << client.fetchDebug() << "\n";
+            std::cout << client->fetchDebug() << "\n";
             return 0;
         }
 
@@ -239,7 +262,56 @@ main(int argc, char **argv)
         int failures = 0;
         std::vector<obs::SpanRecord> spans;
         for (const DesignRequest &request : requests) {
-            const DesignResponse response = client.design(request);
+            // One request, up to 1 + netRetries tries: a broken or
+            // timed-out connection is torn down and re-dialed (the
+            // constructor backs off between its own attempts). A daemon
+            // that is draining — or gone — yields a *structured*
+            // rejection mirroring the admission controller's taxonomy,
+            // not a raw socket error.
+            DesignResponse response;
+            bool answered = false;
+            std::string lastError;
+            long backoff = std::max<long>(1, backoffMs);
+            for (long attempt = 0; attempt <= netRetries; ++attempt) {
+                try {
+                    if (!client) {
+                        client = std::make_unique<serve::Client>(
+                            host, static_cast<uint16_t>(port),
+                            clientOptions);
+                    }
+                    response = client->design(request);
+                    answered = true;
+                    break;
+                } catch (const serve::ServerError &e) {
+                    // Protocol-level refusal: the daemon is up and
+                    // spoke; retrying the same frame cannot help.
+                    lastError = e.what();
+                    break;
+                } catch (const std::exception &e) {
+                    // NetError / FrameError: connection is unusable.
+                    lastError = e.what();
+                    client.reset();
+                    if (attempt < netRetries) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(backoff));
+                        backoff = std::min(
+                            backoff * 2,
+                            std::max(backoff, clientOptions.backoffMaxMs));
+                    }
+                }
+            }
+            if (!answered) {
+                response = DesignResponse{};
+                response.id = request.id;
+                response.ok = false;
+                response.error.stage = "client.net";
+                response.error.kind =
+                    errorKindName(ErrorKind::BudgetExceeded);
+                response.error.detail =
+                    "daemon unreachable (draining or down) after " +
+                    std::to_string(netRetries + 1) +
+                    " attempts: " + lastError;
+            }
             if (response.ok && !response.artifact.empty()) {
                 std::cout << "id=" << response.id << " ok states="
                           << response.statesFinal << " millis="

@@ -1,29 +1,12 @@
 #include "serve/frame.hh"
 
-#include <array>
+#include "support/crc32.hh"
 
 namespace autofsm::serve
 {
 
 namespace
 {
-
-/** The reflected IEEE polynomial's byte-at-a-time lookup table. */
-const std::array<uint32_t, 256> &
-crcTable()
-{
-    static const std::array<uint32_t, 256> table = [] {
-        std::array<uint32_t, 256> t{};
-        for (uint32_t i = 0; i < 256; ++i) {
-            uint32_t crc = i;
-            for (int bit = 0; bit < 8; ++bit)
-                crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0u);
-            t[i] = crc;
-        }
-        return t;
-    }();
-    return table;
-}
 
 void
 putU32Le(std::string &out, uint32_t value)
@@ -70,13 +53,8 @@ frameTypeName(FrameType type)
 uint32_t
 crc32(std::string_view bytes)
 {
-    const auto &table = crcTable();
-    uint32_t crc = 0xffffffffu;
-    for (const char c : bytes) {
-        crc = (crc >> 8) ^
-            table[(crc ^ static_cast<unsigned char>(c)) & 0xff];
-    }
-    return crc ^ 0xffffffffu;
+    // The store and the wire protocol share one checksum (support/crc32).
+    return crc32Ieee(bytes);
 }
 
 std::string

@@ -7,6 +7,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace autofsm::serve
@@ -108,6 +109,18 @@ acceptConnection(const Socket &listener)
             continue;
         return Socket(); // listener shut down (or fatally broken)
     }
+}
+
+void
+setSocketTimeouts(const Socket &socket, long millis)
+{
+    if (millis <= 0 || !socket.valid())
+        return;
+    timeval tv{};
+    tv.tv_sec = millis / 1000;
+    tv.tv_usec = (millis % 1000) * 1000;
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void

@@ -93,6 +93,13 @@ Socket connectTo(const std::string &host, uint16_t port);
 Socket acceptConnection(const Socket &listener);
 
 /**
+ * Arm SO_RCVTIMEO / SO_SNDTIMEO with @p millis (0 leaves the socket
+ * blocking forever). A timed-out recv surfaces as recvSome() returning
+ * false, i.e. like a closed connection — the caller's retry path.
+ */
+void setSocketTimeouts(const Socket &socket, long millis);
+
+/**
  * Write all of @p bytes, looping over short sends.
  *
  * @throws NetError when the peer went away mid-write.

@@ -5,6 +5,7 @@
  *     autofsm-serve [--port=N] [--workers=N] [--queue-depth=N]
  *                   [--no-class-budgets] [--retries=N]
  *                   [--slow-ring=N] [--slow-fraction-pct=N]
+ *                   [--store-dir=PATH] [--store-max-mb=N]
  *
  * Serves the framed DesignRequest protocol on 127.0.0.1 until SIGTERM
  * or SIGINT, then drains (every admitted request is answered) and
@@ -50,6 +51,15 @@ flagValue(std::string_view arg, std::string_view prefix, long *out)
     return true;
 }
 
+bool
+flagText(std::string_view arg, std::string_view prefix, std::string *out)
+{
+    if (arg.substr(0, prefix.size()) != prefix)
+        return false;
+    *out = std::string(arg.substr(prefix.size()));
+    return true;
+}
+
 } // namespace
 
 int
@@ -64,8 +74,13 @@ main(int argc, char **argv)
             std::cout << "usage: " << argv[0]
                       << " [--port=N] [--workers=N] [--queue-depth=N]\n"
                          "  [--no-class-budgets] [--retries=N]\n"
-                         "  [--slow-ring=N] [--slow-fraction-pct=N]\n";
+                         "  [--slow-ring=N] [--slow-fraction-pct=N]\n"
+                         "  [--store-dir=PATH] [--store-max-mb=N]\n";
             return 0;
+        } else if (flagText(arg, "--store-dir=", &options.storeDir)) {
+        } else if (flagValue(arg, "--store-max-mb=", &value)) {
+            options.storeMaxBytes =
+                static_cast<uint64_t>(value) * 1024 * 1024;
         } else if (flagValue(arg, "--port=", &value)) {
             options.port = static_cast<uint16_t>(value);
         } else if (flagValue(arg, "--workers=", &value)) {

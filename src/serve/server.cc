@@ -9,6 +9,7 @@
 #include "obs/export.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
+#include "store/store.hh"
 #include "support/failpoint.hh"
 #include "workloads/trace_cache.hh"
 
@@ -221,6 +222,16 @@ Server::start()
     std::lock_guard<std::mutex> lock(mutex_);
     if (started_)
         return;
+    if (!options_.storeDir.empty()) {
+        // Opening the store IS the recovery pass: stale temp files from
+        // a killed writer are swept, every entry is CRC-validated and
+        // corrupt ones are quarantined, before anything can read them.
+        store::StoreOptions storeOptions;
+        storeOptions.dir = options_.storeDir;
+        storeOptions.maxBytes = options_.storeMaxBytes;
+        store::setGlobalStore(
+            std::make_shared<store::ArtifactStore>(storeOptions));
+    }
     listener_ = listenOn(options_.port, &port_);
     pool_ = std::make_unique<ThreadPool>(options_.workers);
     // The private tracer is always armed: traced requests need spans on

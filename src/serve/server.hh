@@ -87,6 +87,18 @@ struct ServeOptions
      * always-on sampling of untraced requests.
      */
     size_t slowRingCapacity = 32;
+    /**
+     * Persistent artifact/trace store directory (--store-dir); empty
+     * disables the disk tier. start() opens it — which runs the
+     * crash-recovery pass: stale temps swept, every entry validated,
+     * corrupt ones quarantined — and installs it process-wide
+     * (store::setGlobalStore), so the design memo and trace cache read
+     * and write through it. Warm-start effectiveness is scrapable as
+     * autofsm_store_warm_hits_total in /metrics.
+     */
+    std::string storeDir;
+    /** Store payload cap in bytes (LRU-evicted past it); 0 = unlimited. */
+    uint64_t storeMaxBytes = 0;
 };
 
 /**

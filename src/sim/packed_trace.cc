@@ -14,13 +14,22 @@ namespace autofsm
 PackedTrace::PackedTrace(const BranchTrace &trace)
 {
     const size_t n = trace.size();
-    pcs_.resize(n);
-    taken_.assign((n + 63) / 64, 0);
+    auto storage = std::make_shared<Storage>();
+    storage->pcs.resize(n);
+    storage->taken.assign((n + 63) / 64, 0);
     for (size_t i = 0; i < n; ++i) {
-        pcs_[i] = trace[i].pc;
+        storage->pcs[i] = trace[i].pc;
         if (trace[i].taken)
-            taken_[i >> 6] |= 1ULL << (i & 63);
+            storage->taken[i >> 6] |= 1ULL << (i & 63);
     }
+    pcs_ = storage->pcs;
+    taken_ = storage->taken;
+    owner_ = std::move(storage);
+}
+
+PackedTrace::PackedTrace(const store::TraceBlob &blob)
+    : pcs_(blob.pcs), taken_(blob.takenWords), owner_(blob.owner)
+{
 }
 
 namespace

@@ -17,19 +17,35 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "store/store.hh"
 #include "trace/branch_trace.hh"
 
 namespace autofsm
 {
 
-/** Immutable SoA view of one dynamic branch trace. */
+/**
+ * Immutable SoA view of one dynamic branch trace.
+ *
+ * The arrays live behind a shared owner, so the view is cheap to copy
+ * and can borrow storage it did not build: packing a BranchTrace
+ * allocates fresh arrays, while the store::TraceBlob constructor wraps
+ * an mmap'd container file in place — a disk load is zero-copy.
+ */
 class PackedTrace
 {
   public:
     PackedTrace() = default;
     explicit PackedTrace(const BranchTrace &trace);
+
+    /**
+     * Borrow a stored trace's sections without copying. @p blob must be
+     * internally consistent (the store validates before handing one
+     * out); its owner keeps the mapping alive for this view's lifetime.
+     */
+    explicit PackedTrace(const store::TraceBlob &blob);
 
     size_t size() const { return pcs_.size(); }
     bool empty() const { return pcs_.empty(); }
@@ -44,17 +60,26 @@ class PackedTrace
     }
 
     /** The contiguous pc array (size() entries). */
-    const std::vector<uint64_t> &pcs() const { return pcs_; }
+    std::span<const uint64_t> pcs() const { return pcs_; }
 
     /**
      * The outcome bitvector: bit (i & 63) of word (i >> 6) is record
      * i's direction. Trailing bits of the last word are zero.
      */
-    const std::vector<uint64_t> &takenWords() const { return taken_; }
+    std::span<const uint64_t> takenWords() const { return taken_; }
 
   private:
-    std::vector<uint64_t> pcs_;
-    std::vector<uint64_t> taken_;
+    /** Freshly packed arrays (the BranchTrace-conversion path). */
+    struct Storage
+    {
+        std::vector<uint64_t> pcs;
+        std::vector<uint64_t> taken;
+    };
+
+    std::span<const uint64_t> pcs_;
+    std::span<const uint64_t> taken_;
+    /** Whatever keeps the spans alive (Storage or a store mapping). */
+    std::shared_ptr<const void> owner_;
 };
 
 /**

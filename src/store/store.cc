@@ -1,0 +1,1048 @@
+#include "store/store.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "automata/dfa_io.hh"
+#include "logicmin/cube.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "support/crc32.hh"
+#include "support/failpoint.hh"
+
+namespace autofsm::store
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Container format v1 (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "AFST"
+//   4       2     format version (1)
+//   6       1     kind (ArtifactKind)
+//   7       1     section count N
+//   8       8     key hash (the content address, re-checked on load)
+//   16      8     total file bytes
+//   24      8     item count (trace records; 0 for designs)
+//   32      4     header CRC32 (bytes [0,32) ++ the section table)
+//   36      4     reserved (0)
+//   40      24*N  section table: {u32 tag, u32 crc, u64 offset, u64 len}
+//   ...           payload sections, each 8-byte aligned, zero padding
+//
+// Section tags. PackedTrace: 1 = pc array (u64 LE), 2 = outcome words
+// (u64 LE), 3 = key text. Design: 1 = reduced fsm (dfaToText), 2 = dfa
+// before reduction, 3 = regex text, 4 = cover text, 5 = meta text,
+// 6 = predictOne (u32 LE), 7 = dontCare (u32 LE), 8 = stage timings.
+// ---------------------------------------------------------------------
+
+constexpr char kMagic[4] = {'A', 'F', 'S', 'T'};
+constexpr uint16_t kVersion = 1;
+constexpr size_t kHeaderBytes = 40;
+constexpr size_t kSectionDescBytes = 24;
+constexpr size_t kHeaderCrcOffset = 32;
+
+constexpr uint32_t kSecTracePcs = 1;
+constexpr uint32_t kSecTraceWords = 2;
+constexpr uint32_t kSecTraceKey = 3;
+
+constexpr uint32_t kSecDesignFsm = 1;
+constexpr uint32_t kSecDesignBefore = 2;
+constexpr uint32_t kSecDesignRegex = 3;
+constexpr uint32_t kSecDesignCover = 4;
+constexpr uint32_t kSecDesignMeta = 5;
+constexpr uint32_t kSecDesignOnes = 6;
+constexpr uint32_t kSecDesignDc = 7;
+constexpr uint32_t kSecDesignStages = 8;
+
+void
+putU16Le(std::string &out, uint16_t value)
+{
+    out += static_cast<char>(value & 0xff);
+    out += static_cast<char>((value >> 8) & 0xff);
+}
+
+void
+putU32Le(std::string &out, uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out += static_cast<char>((value >> shift) & 0xff);
+}
+
+void
+putU64Le(std::string &out, uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out += static_cast<char>((value >> shift) & 0xff);
+}
+
+void
+patchU32Le(std::string &out, size_t at, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out[at + static_cast<size_t>(i)] =
+            static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+void
+patchU64Le(std::string &out, size_t at, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out[at + static_cast<size_t>(i)] =
+            static_cast<char>((value >> (8 * i)) & 0xff);
+}
+
+uint16_t
+getU16Le(const char *bytes)
+{
+    const auto b = [bytes](int i) {
+        return static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]));
+    };
+    return static_cast<uint16_t>(b(0) | (b(1) << 8));
+}
+
+uint32_t
+getU32Le(const char *bytes)
+{
+    const auto b = [bytes](int i) {
+        return static_cast<uint32_t>(static_cast<unsigned char>(bytes[i]));
+    };
+    return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+uint64_t
+getU64Le(const char *bytes)
+{
+    return static_cast<uint64_t>(getU32Le(bytes)) |
+        (static_cast<uint64_t>(getU32Le(bytes + 4)) << 32);
+}
+
+/** splitmix64 finalizer (the repo's standard mixing step). */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::string
+hexKey(uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+/** Parse the 16-hex-digit entry name back to its key hash. */
+std::optional<uint64_t>
+keyFromFileName(const std::string &name)
+{
+    if (name.size() != 19 || name.substr(16) != ".af")
+        return std::nullopt;
+    uint64_t hash = 0;
+    for (int i = 0; i < 16; ++i) {
+        const char c = name[static_cast<size_t>(i)];
+        hash <<= 4;
+        if (c >= '0' && c <= '9')
+            hash |= static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            hash |= static_cast<uint64_t>(c - 'a' + 10);
+        else
+            return std::nullopt;
+    }
+    return hash;
+}
+
+/** One artifact file's worth of write-side sections. */
+struct SectionSpec
+{
+    uint32_t tag = 0;
+    std::string_view bytes;
+};
+
+/** Compose a whole container file (header, table, aligned payload). */
+std::string
+composeFile(ArtifactKind kind, uint64_t keyHash, uint64_t itemCount,
+            const std::vector<SectionSpec> &sections)
+{
+    std::string out;
+    out.append(kMagic, sizeof(kMagic));
+    putU16Le(out, kVersion);
+    out += static_cast<char>(static_cast<uint8_t>(kind));
+    out += static_cast<char>(static_cast<uint8_t>(sections.size()));
+    putU64Le(out, keyHash);
+    putU64Le(out, 0); // file bytes, patched below
+    putU64Le(out, itemCount);
+    putU32Le(out, 0); // header CRC, patched below
+    putU32Le(out, 0); // reserved
+
+    const size_t tableAt = out.size();
+    for (const SectionSpec &section : sections) {
+        putU32Le(out, section.tag);
+        putU32Le(out, crc32Ieee(section.bytes));
+        putU64Le(out, 0); // offset, patched below
+        putU64Le(out, section.bytes.size());
+    }
+
+    for (size_t i = 0; i < sections.size(); ++i) {
+        out.append((8 - out.size() % 8) % 8, '\0');
+        patchU64Le(out, tableAt + i * kSectionDescBytes + 8, out.size());
+        out.append(sections[i].bytes);
+    }
+
+    patchU64Le(out, 16, out.size());
+    const std::string_view whole(out);
+    const uint32_t headerCrc = crc32IeeeUpdate(
+        crc32Ieee(whole.substr(0, kHeaderCrcOffset)),
+        whole.substr(kHeaderBytes, sections.size() * kSectionDescBytes));
+    patchU32Le(out, kHeaderCrcOffset, headerCrc);
+    return out;
+}
+
+std::string
+serializeU32Array(const std::vector<uint32_t> &values)
+{
+    std::string out;
+    out.reserve(values.size() * 4);
+    for (const uint32_t v : values)
+        putU32Le(out, v);
+    return out;
+}
+
+std::vector<uint32_t>
+parseU32Array(std::string_view bytes)
+{
+    std::vector<uint32_t> out;
+    out.reserve(bytes.size() / 4);
+    for (size_t at = 0; at + 4 <= bytes.size(); at += 4)
+        out.push_back(getU32Le(bytes.data() + at));
+    return out;
+}
+
+std::string
+serializeU64Array(std::span<const uint64_t> values)
+{
+    std::string out;
+    out.reserve(values.size() * 8);
+    for (const uint64_t v : values)
+        putU64Le(out, v);
+    return out;
+}
+
+std::string
+serializeCover(const Cover &cover)
+{
+    std::ostringstream out;
+    out << cover.numVars() << "\n";
+    for (const Cube &cube : cover.cubes())
+        out << cube.toPattern(cover.numVars()) << "\n";
+    return out.str();
+}
+
+Cover
+parseCover(const std::string &text)
+{
+    std::istringstream in(text);
+    int numVars = 0;
+    if (!(in >> numVars) || numVars < 1 || numVars > 32)
+        throw std::invalid_argument("cover: bad variable count");
+    Cover cover = Cover::forInputs(numVars);
+    std::string pattern;
+    while (in >> pattern) {
+        if (pattern.size() != static_cast<size_t>(numVars))
+            throw std::invalid_argument("cover: bad pattern width");
+        for (const char c : pattern) {
+            if (c != '0' && c != '1' && c != 'x')
+                throw std::invalid_argument("cover: bad pattern char");
+        }
+        cover.add(Cube::fromPattern(pattern));
+    }
+    return cover;
+}
+
+std::string
+serializeMeta(const DesignArtifact &artifact)
+{
+    std::ostringstream out;
+    out << "order " << artifact.order << "\n"
+        << "minimizer " << artifact.minimizer << "\n"
+        << "keepStartupStates " << (artifact.keepStartupStates ? 1 : 0)
+        << "\n"
+        << "statesSubset " << artifact.statesSubset << "\n"
+        << "statesHopcroft " << artifact.statesHopcroft << "\n"
+        << "statesFinal " << artifact.statesFinal << "\n";
+    return out.str();
+}
+
+void
+parseMeta(const std::string &text, DesignArtifact &artifact)
+{
+    std::istringstream in(text);
+    std::string field;
+    long value = 0;
+    while (in >> field >> value) {
+        if (field == "order")
+            artifact.order = static_cast<int>(value);
+        else if (field == "minimizer")
+            artifact.minimizer = static_cast<int>(value);
+        else if (field == "keepStartupStates")
+            artifact.keepStartupStates = value != 0;
+        else if (field == "statesSubset")
+            artifact.statesSubset = static_cast<int>(value);
+        else if (field == "statesHopcroft")
+            artifact.statesHopcroft = static_cast<int>(value);
+        else if (field == "statesFinal")
+            artifact.statesFinal = static_cast<int>(value);
+        else
+            throw std::invalid_argument("meta: unknown field " + field);
+    }
+}
+
+std::string
+serializeStages(const std::vector<std::pair<std::string, double>> &stages)
+{
+    std::ostringstream out;
+    for (const auto &[name, millis] : stages)
+        out << name << " " << millis << "\n";
+    return out.str();
+}
+
+std::vector<std::pair<std::string, double>>
+parseStages(const std::string &text)
+{
+    std::istringstream in(text);
+    std::vector<std::pair<std::string, double>> out;
+    std::string name;
+    double millis = 0.0;
+    while (in >> name >> millis)
+        out.emplace_back(name, millis);
+    return out;
+}
+
+/** Pre-registered store instrumentation (shared by every instance). */
+struct StoreTelemetry
+{
+    obs::Counter writes;
+    obs::Counter writeFailures;
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter warmHits;
+    obs::Counter quarantined;
+    obs::Counter evictions;
+    obs::Gauge bytes;
+    obs::Gauge entries;
+};
+
+StoreTelemetry &
+storeTelemetry()
+{
+    static StoreTelemetry telemetry = [] {
+        obs::MetricsRegistry &registry = obs::globalMetrics();
+        StoreTelemetry t;
+        t.writes = registry.counter(
+            "autofsm_store_writes_total",
+            "Artifacts committed to the persistent store.");
+        t.writeFailures = registry.counter(
+            "autofsm_store_write_failures_total",
+            "Store commits abandoned on an IO failure.");
+        t.hits = registry.counter(
+            "autofsm_store_hits_total",
+            "Store loads that returned a validated artifact.");
+        t.misses = registry.counter(
+            "autofsm_store_misses_total",
+            "Store loads that found no usable artifact.");
+        t.warmHits = registry.counter(
+            "autofsm_store_warm_hits_total",
+            "Store hits on entries inherited from a previous process "
+            "(the warm-start rate).");
+        t.quarantined = registry.counter(
+            "autofsm_store_quarantined_total",
+            "Corrupt or truncated store entries renamed aside.");
+        t.evictions = registry.counter(
+            "autofsm_store_evictions_total",
+            "Store entries dropped by the size-capped LRU scan.");
+        t.bytes = registry.gauge(
+            "autofsm_store_bytes",
+            "Total bytes held by the persistent store.");
+        t.entries = registry.gauge(
+            "autofsm_store_entries",
+            "Entries currently held by the persistent store.");
+        return t;
+    }();
+    return telemetry;
+}
+
+/** Owner of one mmap'd artifact; unmapped with the last reference. */
+struct Mapping
+{
+    void *base = MAP_FAILED;
+    size_t length = 0;
+
+    ~Mapping()
+    {
+        if (base != MAP_FAILED && length > 0)
+            ::munmap(base, length);
+    }
+};
+
+bool
+writeAllFd(int fd, std::string_view bytes)
+{
+    size_t written = 0;
+    while (written < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + written, bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+std::shared_ptr<ArtifactStore> &
+globalStoreSlot()
+{
+    static std::shared_ptr<ArtifactStore> slot;
+    return slot;
+}
+
+std::mutex &
+globalStoreMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+} // anonymous namespace
+
+uint64_t
+hashBytes(std::string_view bytes)
+{
+    uint64_t h = mix64(bytes.size());
+    size_t at = 0;
+    for (; at + 8 <= bytes.size(); at += 8)
+        h = mix64(h ^ getU64Le(bytes.data() + at));
+    for (; at < bytes.size(); ++at)
+        h = mix64(h ^ static_cast<unsigned char>(bytes[at]));
+    return h;
+}
+
+/**
+ * A validated container file, either read() bytes or a live mapping.
+ * Filled in place behind a shared_ptr and never moved afterwards, so
+ * `data` (which may point into `inlineBytes`) stays valid for the life
+ * of any span handed out against it.
+ */
+struct ArtifactStore::LoadedFile
+{
+    struct Section
+    {
+        uint32_t tag = 0;
+        uint64_t offset = 0;
+        uint64_t length = 0;
+    };
+
+    const char *data = nullptr;
+    size_t size = 0;
+    uint64_t itemCount = 0;
+    std::string inlineBytes;           ///< backing for the read() path
+    std::shared_ptr<const void> owner; ///< backing for the mmap path
+    std::vector<Section> sections;
+
+    std::string_view
+    section(uint32_t tag) const
+    {
+        for (const Section &s : sections) {
+            if (s.tag == tag)
+                return {data + s.offset,
+                        static_cast<size_t>(s.length)};
+        }
+        return {};
+    }
+};
+
+ArtifactStore::ArtifactStore(StoreOptions options)
+    : options_(std::move(options))
+{
+    std::error_code ec;
+    for (const char *sub : {"traces", "designs", "quarantine"}) {
+        fs::create_directories(fs::path(options_.dir) / sub, ec);
+        if (ec) {
+            throw std::runtime_error("store: cannot create " +
+                                     options_.dir + "/" + sub + ": " +
+                                     ec.message());
+        }
+    }
+    scan(/*validateAll=*/true);
+    const StoreStats opened = stats();
+    obs::logInfo("store.open", "persistent store opened",
+                 {{"dir", options_.dir},
+                  {"entries", static_cast<uint64_t>(opened.entries)},
+                  {"bytes", opened.bytes},
+                  {"quarantined", opened.quarantined},
+                  {"recoveredTemps", opened.recoveredTemps},
+                  {"evicted", opened.evictions}});
+}
+
+std::string
+ArtifactStore::tracePath(uint64_t hash) const
+{
+    return options_.dir + "/traces/" + hexKey(hash) + ".af";
+}
+
+std::string
+ArtifactStore::designPath(uint64_t hash) const
+{
+    return options_.dir + "/designs/" + hexKey(hash) + ".af";
+}
+
+bool
+ArtifactStore::commitFile(const std::string &finalPath,
+                          std::string_view bytes)
+{
+    static std::atomic<uint64_t> tmpSeq{0};
+    const std::string tmp = finalPath + ".tmp" +
+        std::to_string(::getpid()) + "." +
+        std::to_string(tmpSeq.fetch_add(1, std::memory_order_relaxed));
+
+    const auto fail = [&](const char *what) {
+        obs::logWarn("store.write", "store commit failed",
+                     {{"op", what},
+                      {"file", finalPath},
+                      {"detail", std::strerror(errno)}});
+        ::unlink(tmp.c_str());
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.writeFailures;
+        }
+        storeTelemetry().writeFailures.inc();
+        return false;
+    };
+
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0)
+        return fail("open");
+
+    // A triggered store.write simulates the writer dying mid-write:
+    // half the payload lands in the temp file, nothing is renamed, and
+    // the fault propagates like the crash it stands for.
+    try {
+        AUTOFSM_FAILPOINT("store.write");
+    } catch (const InjectedFault &) {
+        writeAllFd(fd, bytes.substr(0, bytes.size() / 2));
+        ::close(fd);
+        throw;
+    }
+    if (!writeAllFd(fd, bytes)) {
+        ::close(fd);
+        return fail("write");
+    }
+    // A triggered store.fsync dies after the data is written but before
+    // it is durable: the full temp file remains, unrenamed.
+    try {
+        AUTOFSM_FAILPOINT("store.fsync");
+    } catch (const InjectedFault &) {
+        ::close(fd);
+        throw;
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        return fail("fsync");
+    }
+    ::close(fd);
+    // A triggered store.rename dies between fsync and the atomic
+    // publish: durable bytes, invisible entry.
+    AUTOFSM_FAILPOINT("store.rename");
+    if (::rename(tmp.c_str(), finalPath.c_str()) != 0)
+        return fail("rename");
+
+    // Make the directory entry durable too (best effort: a failure
+    // here can only delay visibility after a power cut, not tear it).
+    const std::string dir =
+        finalPath.substr(0, finalPath.find_last_of('/'));
+    const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirFd >= 0) {
+        ::fsync(dirFd);
+        ::close(dirFd);
+    }
+
+    bool rescanNow = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.writes;
+        stats_.bytes += bytes.size();
+        ++stats_.entries;
+        bytesSinceScan_ += bytes.size();
+        if (bytesSinceScan_ >= options_.evictScanBytes) {
+            bytesSinceScan_ = 0;
+            rescanNow = true;
+        }
+    }
+    storeTelemetry().writes.inc();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        storeTelemetry().bytes.set(static_cast<double>(stats_.bytes));
+        storeTelemetry().entries.set(static_cast<double>(stats_.entries));
+    }
+    if (rescanNow)
+        scan(/*validateAll=*/false);
+    return true;
+}
+
+void
+ArtifactStore::quarantine(const std::string &path,
+                          const std::string &reason)
+{
+    const std::string name = path.substr(path.find_last_of('/') + 1);
+    uint64_t seq = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        seq = quarantineSeq_++;
+        ++stats_.quarantined;
+    }
+    const std::string target = options_.dir + "/quarantine/" + name +
+        "." + std::to_string(seq);
+    if (::rename(path.c_str(), target.c_str()) != 0) {
+        // Cannot even move it aside; remove so it is not re-read.
+        ::unlink(path.c_str());
+    }
+    storeTelemetry().quarantined.inc();
+    obs::logWarn("store.quarantine", "quarantined corrupt store entry",
+                 {{"file", path}, {"reason", reason}});
+}
+
+std::shared_ptr<ArtifactStore::LoadedFile>
+ArtifactStore::loadFile(const std::string &path, ArtifactKind kind,
+                        uint64_t keyHash, bool wantMmap)
+{
+    AUTOFSM_FAILPOINT("store.load");
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return nullptr; // miss (or unreadable: nothing to serve)
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        quarantine(path, "unstatable or not a regular file");
+        return nullptr;
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+
+    auto file = std::make_shared<LoadedFile>();
+    file->size = size;
+    if (wantMmap && size > 0) {
+        try {
+            AUTOFSM_FAILPOINT("store.mmap");
+        } catch (const InjectedFault &) {
+            ::close(fd);
+            throw;
+        }
+        auto mapping = std::make_shared<Mapping>();
+        mapping->base =
+            ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        mapping->length = size;
+        ::close(fd);
+        if (mapping->base == MAP_FAILED) {
+            quarantine(path, "mmap failed");
+            return nullptr;
+        }
+        file->data = static_cast<const char *>(mapping->base);
+        file->owner = std::move(mapping);
+    } else {
+        file->inlineBytes.resize(size);
+        size_t got = 0;
+        while (got < size) {
+            const ssize_t n = ::read(
+                fd, file->inlineBytes.data() + got, size - got);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                break;
+            got += static_cast<size_t>(n);
+        }
+        ::close(fd);
+        if (got != size) {
+            quarantine(path, "short read");
+            return nullptr;
+        }
+        file->data = file->inlineBytes.data();
+    }
+
+    // Validate everything before trusting anything.
+    const auto reject =
+        [&](const std::string &reason) -> std::shared_ptr<LoadedFile> {
+        quarantine(path, reason);
+        return nullptr;
+    };
+    if (size < kHeaderBytes)
+        return reject("truncated header");
+    if (std::memcmp(file->data, kMagic, sizeof(kMagic)) != 0)
+        return reject("bad magic");
+    if (getU16Le(file->data + 4) != kVersion)
+        return reject("unsupported version " +
+                      std::to_string(getU16Le(file->data + 4)));
+    if (static_cast<uint8_t>(file->data[6]) !=
+        static_cast<uint8_t>(kind)) {
+        return reject("wrong artifact kind");
+    }
+    const size_t sectionCount =
+        static_cast<unsigned char>(file->data[7]);
+    if (getU64Le(file->data + 8) != keyHash)
+        return reject("key hash mismatch");
+    if (getU64Le(file->data + 16) != size)
+        return reject("file length mismatch");
+    file->itemCount = getU64Le(file->data + 24);
+    if (size < kHeaderBytes + sectionCount * kSectionDescBytes)
+        return reject("truncated section table");
+    const std::string_view whole(file->data, size);
+    const uint32_t wantHeaderCrc =
+        getU32Le(file->data + kHeaderCrcOffset);
+    const uint32_t gotHeaderCrc = crc32IeeeUpdate(
+        crc32Ieee(whole.substr(0, kHeaderCrcOffset)),
+        whole.substr(kHeaderBytes, sectionCount * kSectionDescBytes));
+    if (gotHeaderCrc != wantHeaderCrc)
+        return reject("header CRC mismatch");
+
+    for (size_t i = 0; i < sectionCount; ++i) {
+        const char *desc =
+            file->data + kHeaderBytes + i * kSectionDescBytes;
+        LoadedFile::Section section;
+        section.tag = getU32Le(desc);
+        const uint32_t wantCrc = getU32Le(desc + 4);
+        section.offset = getU64Le(desc + 8);
+        section.length = getU64Le(desc + 16);
+        if (section.offset % 8 != 0 || section.offset > size ||
+            section.length > size - section.offset) {
+            return reject("section out of bounds");
+        }
+        if (crc32Ieee(whole.substr(section.offset, section.length)) !=
+            wantCrc) {
+            return reject("section CRC mismatch (tag " +
+                          std::to_string(section.tag) + ")");
+        }
+        file->sections.push_back(section);
+    }
+    return file;
+}
+
+bool
+ArtifactStore::putTrace(std::string_view keyText,
+                        std::span<const uint64_t> pcs,
+                        std::span<const uint64_t> takenWords,
+                        uint64_t count)
+{
+    const std::string pcBytes = serializeU64Array(pcs);
+    const std::string wordBytes = serializeU64Array(takenWords);
+    const uint64_t keyHash = hashBytes(keyText);
+    const std::string file =
+        composeFile(ArtifactKind::PackedTrace, keyHash, count,
+                    {{kSecTracePcs, pcBytes},
+                     {kSecTraceWords, wordBytes},
+                     {kSecTraceKey, keyText}});
+    return commitFile(tracePath(keyHash), file);
+}
+
+std::optional<TraceBlob>
+ArtifactStore::loadTrace(std::string_view keyText)
+{
+    const uint64_t keyHash = hashBytes(keyText);
+    const std::string path = tracePath(keyHash);
+    std::shared_ptr<LoadedFile> file;
+    try {
+        file = loadFile(path, ArtifactKind::PackedTrace, keyHash,
+                        /*wantMmap=*/true);
+    } catch (const InjectedFault &) {
+        file = nullptr; // injected read fault: a clean miss
+    }
+    if (file) {
+        // The stored layout must agree with itself before any span is
+        // handed out; a mismatch is corruption, not a format variant.
+        const uint64_t n = file->itemCount;
+        if (file->section(kSecTraceKey) != keyText ||
+            file->section(kSecTracePcs).size() != n * 8 ||
+            file->section(kSecTraceWords).size() !=
+                ((n + 63) / 64) * 8) {
+            quarantine(path, "inconsistent trace sections");
+            file = nullptr;
+        }
+    }
+    bool warm = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (file) {
+            ++stats_.hits;
+            warm = warmSet_.count(path) > 0;
+            if (warm)
+                ++stats_.warmHits;
+        } else {
+            ++stats_.misses;
+        }
+    }
+    if (!file) {
+        storeTelemetry().misses.inc();
+        return std::nullopt;
+    }
+    storeTelemetry().hits.inc();
+    if (warm)
+        storeTelemetry().warmHits.inc();
+
+    TraceBlob blob;
+    blob.count = file->itemCount;
+    const std::string_view pcBytes = file->section(kSecTracePcs);
+    const std::string_view wordBytes = file->section(kSecTraceWords);
+    blob.pcs = {reinterpret_cast<const uint64_t *>(pcBytes.data()),
+                pcBytes.size() / 8};
+    blob.takenWords = {
+        reinterpret_cast<const uint64_t *>(wordBytes.data()),
+        wordBytes.size() / 8};
+    blob.owner = std::move(file); // keeps the mapping alive
+    return blob;
+}
+
+bool
+ArtifactStore::putDesign(uint64_t keyHash, const DesignArtifact &artifact)
+{
+    const std::string fsmText = dfaToText(artifact.fsm);
+    const std::string beforeText = dfaToText(artifact.beforeReduction);
+    const std::string coverText = serializeCover(artifact.cover);
+    const std::string metaText = serializeMeta(artifact);
+    const std::string onesBytes = serializeU32Array(artifact.predictOne);
+    const std::string dcBytes = serializeU32Array(artifact.dontCare);
+    const std::string stagesText = serializeStages(artifact.stageMillis);
+    const std::string file =
+        composeFile(ArtifactKind::Design, keyHash, 0,
+                    {{kSecDesignFsm, fsmText},
+                     {kSecDesignBefore, beforeText},
+                     {kSecDesignRegex, artifact.regexText},
+                     {kSecDesignCover, coverText},
+                     {kSecDesignMeta, metaText},
+                     {kSecDesignOnes, onesBytes},
+                     {kSecDesignDc, dcBytes},
+                     {kSecDesignStages, stagesText}});
+    return commitFile(designPath(keyHash), file);
+}
+
+std::optional<DesignArtifact>
+ArtifactStore::loadDesign(uint64_t keyHash)
+{
+    const std::string path = designPath(keyHash);
+    std::shared_ptr<LoadedFile> file;
+    try {
+        file = loadFile(path, ArtifactKind::Design, keyHash,
+                        /*wantMmap=*/false);
+    } catch (const InjectedFault &) {
+        file = nullptr;
+    }
+    std::optional<DesignArtifact> artifact;
+    if (file) {
+        try {
+            DesignArtifact out;
+            out.fsm =
+                dfaFromText(std::string(file->section(kSecDesignFsm)));
+            out.beforeReduction = dfaFromText(
+                std::string(file->section(kSecDesignBefore)));
+            out.regexText = std::string(file->section(kSecDesignRegex));
+            out.cover =
+                parseCover(std::string(file->section(kSecDesignCover)));
+            parseMeta(std::string(file->section(kSecDesignMeta)), out);
+            out.predictOne = parseU32Array(file->section(kSecDesignOnes));
+            out.dontCare = parseU32Array(file->section(kSecDesignDc));
+            out.stageMillis = parseStages(
+                std::string(file->section(kSecDesignStages)));
+            artifact = std::move(out);
+        } catch (const std::exception &e) {
+            // CRCs passed but the content does not parse: a writer bug
+            // or a format skew. Same policy either way — never serve it.
+            quarantine(path,
+                       std::string("unparseable artifact: ") + e.what());
+        }
+    }
+    bool warm = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (artifact) {
+            ++stats_.hits;
+            warm = warmSet_.count(path) > 0;
+            if (warm)
+                ++stats_.warmHits;
+        } else {
+            ++stats_.misses;
+        }
+    }
+    if (!artifact) {
+        storeTelemetry().misses.inc();
+        return std::nullopt;
+    }
+    storeTelemetry().hits.inc();
+    if (warm)
+        storeTelemetry().warmHits.inc();
+    return artifact;
+}
+
+void
+ArtifactStore::scan(bool validateAll)
+{
+    struct EntryFile
+    {
+        std::string path;
+        uint64_t size = 0;
+        fs::file_time_type mtime;
+        bool warm = false;
+    };
+    std::vector<EntryFile> entries;
+    uint64_t recoveredTemps = 0;
+    std::error_code ec;
+    for (const char *sub : {"traces", "designs"}) {
+        const ArtifactKind kind = sub[0] == 't'
+            ? ArtifactKind::PackedTrace
+            : ArtifactKind::Design;
+        const fs::directory_iterator end;
+        for (fs::directory_iterator it(fs::path(options_.dir) / sub, ec);
+             !ec && it != end; it.increment(ec)) {
+            const fs::path path = it->path();
+            const std::string name = path.filename().string();
+            if (name.find(".tmp") != std::string::npos) {
+                // A writer died mid-commit; the entry was never
+                // published, so the leftover bytes are garbage.
+                std::error_code removeEc;
+                fs::remove(path, removeEc);
+                ++recoveredTemps;
+                obs::logInfo("store.recover", "removed stale temp file",
+                             {{"file", path.string()}});
+                continue;
+            }
+            const std::optional<uint64_t> key = keyFromFileName(name);
+            if (!key) {
+                quarantine(path.string(), "unrecognized file name");
+                continue;
+            }
+            EntryFile entry;
+            entry.path = path.string();
+            if (validateAll) {
+                // Full validation (CRCs and all); corrupt entries are
+                // quarantined here, before anything can load them. An
+                // injected store.load fault leaves the entry in place
+                // but unverified: counted, never warm.
+                std::shared_ptr<LoadedFile> file;
+                bool faulted = false;
+                try {
+                    file = loadFile(path.string(), kind, *key,
+                                    /*wantMmap=*/false);
+                } catch (const InjectedFault &) {
+                    faulted = true;
+                }
+                if (!file && !faulted)
+                    continue; // quarantined (or vanished underneath us)
+                entry.warm = !faulted;
+            }
+            std::error_code statEc;
+            entry.size = fs::file_size(path, statEc);
+            entry.mtime = fs::last_write_time(path, statEc);
+            if (statEc)
+                continue;
+            entries.push_back(std::move(entry));
+        }
+        ec.clear();
+    }
+
+    uint64_t total = 0;
+    for (const EntryFile &entry : entries)
+        total += entry.size;
+
+    uint64_t evicted = 0;
+    if (options_.maxBytes > 0 && total > options_.maxBytes) {
+        std::sort(entries.begin(), entries.end(),
+                  [](const EntryFile &a, const EntryFile &b) {
+                      return a.mtime < b.mtime;
+                  });
+        while (total > options_.maxBytes && evicted < entries.size()) {
+            std::error_code removeEc;
+            fs::remove(entries[evicted].path, removeEc);
+            total -= entries[evicted].size;
+            ++evicted;
+        }
+        obs::logInfo("store.evict", "size-capped eviction scan",
+                     {{"evicted", evicted},
+                      {"bytes", total},
+                      {"maxBytes", options_.maxBytes}});
+        entries.erase(entries.begin(),
+                      entries.begin() + static_cast<long>(evicted));
+        storeTelemetry().evictions.inc(evicted);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.recoveredTemps += recoveredTemps;
+        stats_.evictions += evicted;
+        stats_.entries = entries.size();
+        stats_.bytes = total;
+        if (validateAll) {
+            warmSet_.clear();
+            for (const EntryFile &entry : entries) {
+                if (entry.warm)
+                    warmSet_.insert(entry.path);
+            }
+        } else {
+            for (auto it = warmSet_.begin(); it != warmSet_.end();) {
+                const bool kept = std::any_of(
+                    entries.begin(), entries.end(),
+                    [&](const EntryFile &e) { return e.path == *it; });
+                it = kept ? std::next(it) : warmSet_.erase(it);
+            }
+        }
+    }
+    storeTelemetry().bytes.set(static_cast<double>(total));
+    storeTelemetry().entries.set(static_cast<double>(entries.size()));
+}
+
+StoreStats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ArtifactStore::rescan()
+{
+    scan(/*validateAll=*/false);
+}
+
+std::shared_ptr<ArtifactStore>
+globalStore()
+{
+    std::lock_guard<std::mutex> lock(globalStoreMutex());
+    return globalStoreSlot();
+}
+
+void
+setGlobalStore(std::shared_ptr<ArtifactStore> store)
+{
+    std::lock_guard<std::mutex> lock(globalStoreMutex());
+    globalStoreSlot() = std::move(store);
+}
+
+} // namespace autofsm::store

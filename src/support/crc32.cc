@@ -1,0 +1,48 @@
+#include "support/crc32.hh"
+
+#include <array>
+
+namespace autofsm
+{
+
+namespace
+{
+
+/** The reflected IEEE polynomial's byte-at-a-time lookup table. */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ ((crc & 1) ? 0xedb88320u : 0u);
+            t[i] = crc;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // anonymous namespace
+
+uint32_t
+crc32Ieee(std::string_view bytes)
+{
+    return crc32IeeeUpdate(0, bytes);
+}
+
+uint32_t
+crc32IeeeUpdate(uint32_t seed, std::string_view bytes)
+{
+    const auto &table = crcTable();
+    uint32_t crc = seed ^ 0xffffffffu;
+    for (const char c : bytes) {
+        crc = (crc >> 8) ^
+            table[(crc ^ static_cast<unsigned char>(c)) & 0xff];
+    }
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace autofsm

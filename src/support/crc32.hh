@@ -1,0 +1,29 @@
+/**
+ * @file
+ * IEEE CRC32 (reflected polynomial 0xEDB88320).
+ *
+ * One checksum for every byte-level integrity check in the repo: the
+ * serve protocol's frame payloads and the persistent artifact store's
+ * header and section checks share this implementation, so a value
+ * computed by one layer verifies in the other. Check value:
+ * crc32Ieee("123456789") == 0xCBF43926.
+ */
+
+#ifndef AUTOFSM_SUPPORT_CRC32_HH
+#define AUTOFSM_SUPPORT_CRC32_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace autofsm
+{
+
+/** CRC32 of @p bytes (IEEE, reflected, init/xorout 0xFFFFFFFF). */
+uint32_t crc32Ieee(std::string_view bytes);
+
+/** Continue a running CRC: pass the previous return value as @p seed. */
+uint32_t crc32IeeeUpdate(uint32_t seed, std::string_view bytes);
+
+} // namespace autofsm
+
+#endif // AUTOFSM_SUPPORT_CRC32_HH

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/metrics.hh"
+#include "store/store.hh"
 #include "support/failpoint.hh"
 
 namespace autofsm
@@ -120,6 +121,58 @@ cacheKey(const std::string &name, WorkloadInput input,
         std::to_string(approx_branches);
 }
 
+/**
+ * Disk-tier read-through: rebuild the AoS trace from a stored packed
+ * blob. Any store failure (including an injected read fault) is a
+ * clean miss — the caller falls back to generating the trace.
+ */
+TracePtr
+loadTraceFromStore(const std::string &key)
+{
+    const std::shared_ptr<store::ArtifactStore> disk = store::globalStore();
+    if (!disk)
+        return nullptr;
+    std::optional<store::TraceBlob> blob;
+    try {
+        blob = disk->loadTrace(key);
+    } catch (...) {
+        return nullptr;
+    }
+    if (!blob)
+        return nullptr;
+    auto trace = std::make_shared<BranchTrace>();
+    trace->reserve(blob->count);
+    for (uint64_t i = 0; i < blob->count; ++i) {
+        trace->push_back(
+            {blob->pcs[i],
+             ((blob->takenWords[i >> 6] >> (i & 63)) & 1ULL) != 0});
+    }
+    return trace;
+}
+
+/** Best-effort write-through of a freshly built trace (SoA layout). */
+void
+saveTraceToStore(const std::string &key, const BranchTrace &trace)
+{
+    const std::shared_ptr<store::ArtifactStore> disk = store::globalStore();
+    if (!disk)
+        return;
+    const size_t n = trace.size();
+    std::vector<uint64_t> pcs(n);
+    std::vector<uint64_t> words((n + 63) / 64, 0);
+    for (size_t i = 0; i < n; ++i) {
+        pcs[i] = trace[i].pc;
+        if (trace[i].taken)
+            words[i >> 6] |= 1ULL << (i & 63);
+    }
+    try {
+        disk->putTrace(key, pcs, words, n);
+    } catch (...) {
+        // Injected mid-commit crash or real IO failure: already logged
+        // and counted by the store; the in-memory trace stands.
+    }
+}
+
 } // anonymous namespace
 
 std::shared_ptr<const BranchTrace>
@@ -155,8 +208,16 @@ cachedBranchTrace(const std::string &name, WorkloadInput input,
     if (creator) {
         try {
             AUTOFSM_FAILPOINT("workloads.trace_build");
-            promise.set_value(std::make_shared<const BranchTrace>(
-                makeBranchTrace(name, input, approx_branches)));
+            // Disk tier first: a persisted packed trace skips the
+            // workload model entirely. Misses (and any store failure)
+            // build as before, then spill best-effort for next time.
+            TracePtr built = loadTraceFromStore(key);
+            if (!built) {
+                built = std::make_shared<const BranchTrace>(
+                    makeBranchTrace(name, input, approx_branches));
+                saveTraceToStore(key, *built);
+            }
+            promise.set_value(std::move(built));
         } catch (...) {
             // Don't cache the failure: the entry must be erased BEFORE
             // the promise is fulfilled. In the other order a concurrent

@@ -10,7 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -20,6 +23,7 @@
 #include "flow/budget.hh"
 #include "flow/design_flow.hh"
 #include "obs/metrics.hh"
+#include "store/store.hh"
 #include "support/failpoint.hh"
 #include "support/thread_pool.hh"
 #include "trace/trace_io.hh"
@@ -558,6 +562,158 @@ TEST_F(FaultTest, FallbackAndFailpointCountersIncrement)
               triggers_before + 1);
 }
 #endif
+
+// ---------------------------------------------------------------------------
+// Persistent store: a writer dying mid-commit (at any of the three
+// commit failpoints) must never leave a torn entry observable — the
+// next open recovers to a clean miss, and entries committed before the
+// crash still load bit-identical.
+
+/** Store fault fixture: a scratch directory plus a committed entry. */
+class StoreFaultTest : public FaultTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::string tmpl = (std::filesystem::temp_directory_path() /
+                            "autofsm-storefault-XXXXXX")
+                               .string();
+        dir_ = ::mkdtemp(tmpl.data());
+        ASSERT_FALSE(dir_.empty());
+        const size_t n = 300;
+        pcs_.resize(n);
+        words_.assign((n + 63) / 64, 0);
+        for (size_t i = 0; i < n; ++i) {
+            pcs_[i] = 0x1000 + i * 4;
+            if ((i % 3) == 0)
+                words_[i >> 6] |= 1ULL << (i & 63);
+        }
+    }
+
+    void
+    TearDown() override
+    {
+        FaultTest::TearDown();
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    store::StoreOptions
+    options() const
+    {
+        store::StoreOptions opts;
+        opts.dir = dir_;
+        return opts;
+    }
+
+    /** Commit one good entry under "survivor" (before the fault). */
+    void
+    commitSurvivor(store::ArtifactStore &store)
+    {
+        ASSERT_TRUE(
+            store.putTrace("survivor", pcs_, words_, pcs_.size()));
+    }
+
+    /** Reopen and check crash-consistency: the faulted entry is a
+     *  clean miss, the survivor loads bit-identical, and nothing is
+     *  quarantined (the torn temp was never published as an entry). */
+    void
+    expectCleanRecovery(uint64_t expectRecoveredTemps)
+    {
+        failpoint::registry().clearAll();
+        store::ArtifactStore reopened(options());
+        const store::StoreStats stats = reopened.stats();
+        EXPECT_EQ(stats.recoveredTemps, expectRecoveredTemps);
+        EXPECT_EQ(stats.quarantined, 0u);
+        EXPECT_EQ(stats.entries, 1u);
+        EXPECT_FALSE(reopened.loadTrace("victim").has_value());
+        const auto blob = reopened.loadTrace("survivor");
+        ASSERT_TRUE(blob.has_value());
+        ASSERT_EQ(blob->pcs.size(), pcs_.size());
+        EXPECT_TRUE(
+            std::equal(pcs_.begin(), pcs_.end(), blob->pcs.begin()));
+        EXPECT_TRUE(std::equal(words_.begin(), words_.end(),
+                               blob->takenWords.begin()));
+    }
+
+    std::string dir_;
+    std::vector<uint64_t> pcs_;
+    std::vector<uint64_t> words_;
+};
+
+TEST_F(StoreFaultTest, WriterKilledMidWriteLeavesNoTornEntry)
+{
+    {
+        store::ArtifactStore store(options());
+        commitSurvivor(store);
+        failpoint::registry().set("store.write", "fail-after:0");
+        // The fault fires with half the payload in the temp file —
+        // exactly what a crash mid-write(2) leaves behind.
+        EXPECT_THROW(
+            store.putTrace("victim", pcs_, words_, pcs_.size()),
+            InjectedFault);
+    }
+    expectCleanRecovery(/*expectRecoveredTemps=*/1);
+}
+
+TEST_F(StoreFaultTest, WriterKilledBeforeFsyncLeavesNoTornEntry)
+{
+    {
+        store::ArtifactStore store(options());
+        commitSurvivor(store);
+        failpoint::registry().set("store.fsync", "fail-after:0");
+        // Full temp file, never made durable, never renamed.
+        EXPECT_THROW(
+            store.putTrace("victim", pcs_, words_, pcs_.size()),
+            InjectedFault);
+    }
+    expectCleanRecovery(/*expectRecoveredTemps=*/1);
+}
+
+TEST_F(StoreFaultTest, WriterKilledBeforeRenameLeavesNoTornEntry)
+{
+    {
+        store::ArtifactStore store(options());
+        commitSurvivor(store);
+        failpoint::registry().set("store.rename", "fail-after:0");
+        // Durable bytes, invisible entry: the atomic publish never ran.
+        EXPECT_THROW(
+            store.putTrace("victim", pcs_, words_, pcs_.size()),
+            InjectedFault);
+    }
+    expectCleanRecovery(/*expectRecoveredTemps=*/1);
+}
+
+TEST_F(StoreFaultTest, TransientWriteFaultThenRetrySucceeds)
+{
+    store::ArtifactStore store(options());
+    failpoint::registry().set("store.write", "fail-times:1");
+    EXPECT_THROW(store.putTrace("k", pcs_, words_, pcs_.size()),
+                 InjectedFault);
+    // The retry commits; the earlier torn temp is no entry at all.
+    EXPECT_TRUE(store.putTrace("k", pcs_, words_, pcs_.size()));
+    const auto blob = store.loadTrace("k");
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_TRUE(std::equal(pcs_.begin(), pcs_.end(), blob->pcs.begin()));
+}
+
+TEST_F(StoreFaultTest, InjectedReadFaultsDegradeToCleanMisses)
+{
+    store::ArtifactStore store(options());
+    commitSurvivor(store);
+
+    failpoint::registry().set("store.load", "fail-times:1");
+    EXPECT_FALSE(store.loadTrace("survivor").has_value());
+    // Transient: the entry itself is intact and untouched.
+    EXPECT_TRUE(store.loadTrace("survivor").has_value());
+
+    failpoint::registry().set("store.mmap", "fail-times:1");
+    EXPECT_FALSE(store.loadTrace("survivor").has_value());
+    EXPECT_TRUE(store.loadTrace("survivor").has_value());
+
+    EXPECT_EQ(store.stats().quarantined, 0u);
+}
 
 } // anonymous namespace
 } // namespace autofsm

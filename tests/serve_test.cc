@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <optional>
 #include <set>
 #include <string>
@@ -29,9 +31,12 @@
 #include "serve/frame.hh"
 #include "serve/net.hh"
 #include "serve/server.hh"
+#include "sim/packed_trace.hh"
+#include "store/store.hh"
 #include "support/failpoint.hh"
 #include "support/json_parse.hh"
 #include "support/rng.hh"
+#include "workloads/trace_cache.hh"
 
 namespace autofsm
 {
@@ -151,6 +156,50 @@ TEST(FrameTest, RoundTripAndPipelining)
     EXPECT_EQ(frames[2].type, FrameType::DesignResponse);
     EXPECT_EQ(frames[2].payload, "third payload");
     EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameTest, RandomizedChunkSplitsDecodeIntact)
+{
+    // The kernel hands TCP readers arbitrary chunk boundaries; the
+    // decoder must reassemble identically no matter where the splits
+    // land. Drive it with deterministic random splits across several
+    // seeds, including splits inside the header and inside the CRC.
+    std::vector<std::string> payloads;
+    payloads.push_back("");
+    payloads.push_back("x");
+    Rng payloadRng(0xF00D);
+    for (size_t i = 0; i < 6; ++i) {
+        std::string payload(17 + payloadRng.below(900), '\0');
+        for (char &c : payload)
+            c = static_cast<char>(payloadRng.below(256));
+        payloads.push_back(std::move(payload));
+    }
+    std::string wire;
+    for (size_t i = 0; i < payloads.size(); ++i) {
+        const FrameType type = (i % 2) == 0 ? FrameType::DesignRequest
+                                            : FrameType::DesignResponse;
+        wire += serve::encodeFrame(type, payloads[i]);
+    }
+
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        Rng rng(seed * 0x51CE5);
+        FrameDecoder decoder;
+        std::vector<Frame> frames;
+        size_t offset = 0;
+        while (offset < wire.size()) {
+            const size_t chunk = std::min<size_t>(
+                1 + rng.below(37), wire.size() - offset);
+            decoder.feed(std::string_view(wire).substr(offset, chunk));
+            offset += chunk;
+            while (std::optional<Frame> frame = decoder.next())
+                frames.push_back(std::move(*frame));
+        }
+        ASSERT_EQ(frames.size(), payloads.size()) << "seed " << seed;
+        for (size_t i = 0; i < payloads.size(); ++i)
+            EXPECT_EQ(frames[i].payload, payloads[i])
+                << "seed " << seed << " frame " << i;
+        EXPECT_EQ(decoder.buffered(), 0u);
+    }
 }
 
 TEST(FrameTest, TruncatedFrameIsIncompleteNotMalformed)
@@ -488,7 +537,18 @@ class ServerTest : public ::testing::Test
 {
   protected:
     void SetUp() override { failpoint::registry().clearAll(); }
-    void TearDown() override { failpoint::registry().clearAll(); }
+
+    void
+    TearDown() override
+    {
+        failpoint::registry().clearAll();
+        // Tests that exercise --store-dir install a global store; reset
+        // it (and the in-memory tiers it feeds) so tests stay isolated.
+        store::setGlobalStore(nullptr);
+        clearDesignMemo();
+        clearBranchTraceCache();
+        clearPackedTraceCache();
+    }
 
     /** Start with the bit-identical comparison configuration. */
     serve::Server &startServer(serve::ServeOptions options = {})
@@ -907,6 +967,89 @@ TEST_F(ServerTest, DispatchFaultFailsOneJobStructurally)
     const DesignResponse recovered = client.design(request);
     ASSERT_TRUE(recovered.ok) << recovered.error.detail;
     EXPECT_EQ(recovered.artifact, directArtifact(request));
+}
+
+// ---------------------------------------------------------------------------
+// Client retry policy and the persistent store behind the daemon
+
+TEST(ClientRetryTest, ConnectRetriesExhaustToNetError)
+{
+    // Grab a free port, then close the listener: every connect attempt
+    // is refused, so the retrying constructor must back off the
+    // configured number of times and then surface NetError.
+    uint16_t deadPort = 0;
+    { serve::Socket listener = serve::listenOn(0, &deadPort); }
+
+    serve::ClientOptions options;
+    options.connectAttempts = 3;
+    options.backoffInitialMs = 1;
+    options.backoffMaxMs = 4;
+    EXPECT_THROW(serve::Client("127.0.0.1", deadPort, options),
+                 serve::NetError);
+}
+
+TEST_F(ServerTest, ClientWithTimeoutAndRetriesMatchesDirectPath)
+{
+    startServer();
+    serve::ClientOptions options;
+    options.connectAttempts = 3;
+    options.backoffInitialMs = 1;
+    options.timeoutMs = 30000;
+    serve::Client client("127.0.0.1", server_->port(), options);
+
+    const DesignRequest request = outcomesRequest(91, syntheticTrace(9));
+    const DesignResponse response = client.design(request);
+    ASSERT_TRUE(response.ok) << response.error.detail;
+    EXPECT_EQ(response.artifact, directArtifact(request));
+}
+
+TEST_F(ServerTest, WarmRestartServesIdenticalArtifactFromStore)
+{
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "autofsm-servestore-XXXXXX")
+                           .string();
+    const std::string dir = ::mkdtemp(tmpl.data());
+    ASSERT_FALSE(dir.empty());
+
+    serve::ServeOptions options;
+    options.storeDir = dir;
+    const DesignRequest request = outcomesRequest(81, syntheticTrace(8));
+
+    startServer(options);
+    DesignResponse first;
+    {
+        serve::Client client = connect();
+        first = client.design(request);
+    }
+    ASSERT_TRUE(first.ok) << first.error.detail;
+    server_->shutdown();
+    server_.reset();
+
+    // Simulate a process restart: drop every in-memory tier so the
+    // disk store is the only place the artifact can come from.
+    store::setGlobalStore(nullptr);
+    clearDesignMemo();
+    clearBranchTraceCache();
+    clearPackedTraceCache();
+
+    startServer(options);
+    serve::Client client = connect();
+    const DesignResponse warmed = client.design(request);
+    ASSERT_TRUE(warmed.ok) << warmed.error.detail;
+    EXPECT_EQ(warmed.artifact, first.artifact);
+    EXPECT_EQ(warmed.statesFinal, first.statesFinal);
+
+    // The recovery pass validated the entry at open, so serving it
+    // counts as a warm hit — the metric the CI recovery job greps.
+    const std::shared_ptr<store::ArtifactStore> store =
+        store::globalStore();
+    ASSERT_TRUE(store);
+    EXPECT_GT(store->stats().warmHits, 0u);
+    EXPECT_NE(client.fetchMetrics().find("autofsm_store_warm_hits_total"),
+              std::string::npos);
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
 }
 
 } // namespace
