@@ -21,6 +21,7 @@
 #include "bpred/ppm.hh"
 #include "bpred/simulate.hh"
 #include "bpred/trainer.hh"
+#include "sim/nested_sweep.hh"
 #include "workloads/trace_cache.hh"
 
 #include "bench_common.hh"
@@ -127,9 +128,15 @@ ppmSection(size_t branches)
         const BranchTrace &train = *train_trace;
         const BranchTrace &test = *test_trace;
 
-        XScaleBtb btb;
+        // The XScale column is a single-config BTB sweep point; the
+        // nested engine services it bit-identically to the virtual
+        // XScaleBtb walk at kernel speed.
+        NestedSweepRequest btb_request;
+        btb_request.btb.push_back(BtbConfig{});
         const double base =
-            simulateBranchPredictor(btb, test).missRate();
+            nestedSweep(btb_request, *cachedPackedTrace(test_trace))
+                .btb[0]
+                .result.missRate();
 
         PpmPredictor ppm;
         const double ppm_rate =

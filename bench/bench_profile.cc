@@ -17,6 +17,9 @@
  * Usage: bench_profile [branches_per_run] [json_out]
  *   branches_per_run  dynamic branches per trace (default 400000)
  *   json_out          wall-clock report path (default BENCH_profile.json)
+ * --repeat=N times the two sweep sections N times and reports the
+ * median run (the design section stays single-shot: its memo hit rate
+ * is part of the report and re-running would warm it).
  */
 
 #include <chrono>
@@ -157,15 +160,19 @@ main(int argc, char **argv)
         BenchmarkTiming timing;
         timing.name = name;
 
-        // Seed replica: per-order baseline pass + sparse walk.
-        const auto seed_start = Clock::now();
-        const auto seed_models = seedOrderSweep(train, orders, options);
-        timing.perOrderMs = millisSince(seed_start);
+        // Seed replica: per-order baseline pass + sparse walk. Both
+        // paths train from scratch each run, so --repeat=N re-runs
+        // them unchanged and the upper median drops cold-cache noise.
+        std::vector<std::vector<MarkovModel>> seed_models;
+        timing.perOrderMs = bench::medianRunMillis(args, [&] {
+            seed_models = seedOrderSweep(train, orders, options);
+        });
 
         // Engine: one baseline pass, one counting walk, fold the rest.
-        const auto sweep_start = Clock::now();
-        const auto sweeps = collectBranchModelSweeps(train, orders, options);
-        timing.sweepMs = millisSince(sweep_start);
+        std::vector<BranchModelSweep> sweeps;
+        timing.sweepMs = bench::medianRunMillis(args, [&] {
+            sweeps = collectBranchModelSweeps(train, orders, options);
+        });
 
         for (const BranchModelSweep &sweep : sweeps) {
             timing.countMs += sweep.profile.stats().countMillis;

@@ -11,10 +11,10 @@
  * Usage: bench_sim_sweep [branches_per_run] [json_out]
  *   branches_per_run  dynamic branches per trace (default 400000)
  *   json_out          wall-clock report path (default BENCH_sim.json)
+ * --repeat=N times each path N times and reports the median run.
  */
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -41,15 +41,6 @@ using namespace autofsm;
 
 namespace
 {
-
-using Clock = std::chrono::steady_clock;
-
-double
-millisSince(Clock::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
-}
 
 /** The seed's customCurve: every machine stepped on every AoS record. */
 AreaMissSeries
@@ -240,18 +231,23 @@ main(int argc, char **argv)
         BenchmarkTiming timing;
         timing.name = name;
 
-        const Clock::time_point serial_start = Clock::now();
-        const Fig5Benchmark serial = seedEvaluate(name, trained, options);
-        timing.serialMs = millisSince(serial_start);
+        // Both paths are pure functions of the traces and the trained
+        // machines, so --repeat=N re-runs them unchanged and the upper
+        // median drops cold-cache noise.
+        Fig5Benchmark serial;
+        timing.serialMs = bench::medianRunMillis(args, [&] {
+            serial = seedEvaluate(name, trained, options);
+        });
 
-        const Clock::time_point sweep_start = Clock::now();
-        const auto sweep_train = cachedPackedTrace(cachedBranchTrace(
-            name, WorkloadInput::Train, options.branchesPerRun));
-        const auto sweep_test = cachedPackedTrace(cachedBranchTrace(
-            name, WorkloadInput::Test, options.branchesPerRun));
-        const Fig5Benchmark sweep = evaluateFigure5(
-            name, *sweep_train, *sweep_test, trained, options, &profile);
-        timing.sweepMs = millisSince(sweep_start);
+        Fig5Benchmark sweep;
+        timing.sweepMs = bench::medianRunMillis(args, [&] {
+            const auto sweep_train = cachedPackedTrace(cachedBranchTrace(
+                name, WorkloadInput::Train, options.branchesPerRun));
+            const auto sweep_test = cachedPackedTrace(cachedBranchTrace(
+                name, WorkloadInput::Test, options.branchesPerRun));
+            sweep = evaluateFigure5(name, *sweep_train, *sweep_test,
+                                    trained, options, &profile);
+        });
 
         if (!resultsIdentical(serial, sweep)) {
             std::cerr << "FATAL: sweep-engine results diverge from the "

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "flow/batch.hh"
+#include "sim/sweep.hh"
 #include "support/history.hh"
 
 namespace autofsm
@@ -15,15 +16,18 @@ std::vector<std::pair<uint64_t, uint64_t>>
 profileBaselineMisses(const BranchTrace &trace, const BtbConfig &baseline,
                       BaselineBtbProfile *profile)
 {
-    XScaleBtb btb(baseline);
+    // BtbKernel is the bit-exact kernel replica of XScaleBtb (packed
+    // entries, fused predict+update, no per-lookup atomics); sweep_test
+    // pins the identity, so the profile is unchanged and the pass runs
+    // at kernel speed.
+    BtbKernel btb(baseline);
     std::unordered_map<uint64_t, uint64_t> misses;
     uint64_t total = 0;
     for (const auto &record : trace) {
-        if (btb.predict(record.pc) != record.taken) {
+        if (btb.step(record.pc, record.taken)) {
             ++misses[record.pc];
             ++total;
         }
-        btb.update(record.pc, record.taken);
     }
     if (profile) {
         profile->valid = true;

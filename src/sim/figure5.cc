@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "bpred/custom.hh"
+#include "sim/nested_sweep.hh"
 #include "sim/packed_trace.hh"
 #include "sim/sweep.hh"
 #include "support/thread_pool.hh"
@@ -126,61 +127,33 @@ evaluateFigure5(const std::string &benchmark,
                          diff_counts.btbName};
     }
 
-    if (sweep_threads <= 1) {
-        // Serial: one trace pass per predictor *kind* - every gshare
-        // size side by side, then every LGC size - so the packed trace
-        // streams through cache once per family instead of once per
-        // point.
-        {
-            SweepPointTimer timer;
-            std::vector<GshareKernel> predictors;
-            predictors.reserve(num_gshare);
-            for (size_t i = 0; i < num_gshare; ++i)
-                predictors.emplace_back(gshare_config(i), costs);
-            const std::vector<BpredSimResult> rs =
-                sweepKernelBatch(predictors, packed_test);
-            for (size_t i = 0; i < num_gshare; ++i)
-                result.gshare.points[i] = {predictors[i].area(),
-                                           rs[i].missRate(),
-                                           predictors[i].name()};
-        }
-        {
-            SweepPointTimer timer;
-            std::vector<LgcKernel> predictors;
-            predictors.reserve(num_lgc);
-            for (size_t i = 0; i < num_lgc; ++i)
-                predictors.emplace_back(lgc_config(i), costs);
-            const std::vector<BpredSimResult> rs =
-                sweepKernelBatch(predictors, packed_test);
-            for (size_t i = 0; i < num_lgc; ++i)
-                result.lgc.points[i] = {predictors[i].area(),
-                                        rs[i].missRate(),
-                                        predictors[i].name()};
-        }
-    } else {
-        // Parallel: every sweep point is an independent predictor over
-        // a shared read-only trace; fan them all out at once.
-        parallelFor(
-            num_gshare + num_lgc,
-            [&](size_t t) {
-                SweepPointTimer timer;
-                if (t < num_gshare) {
-                    GshareKernel predictor(gshare_config(t), costs);
-                    const BpredSimResult r =
-                        sweepKernel(predictor, packed_test);
-                    result.gshare.points[t] = {predictor.area(),
-                                               r.missRate(),
-                                               predictor.name()};
-                } else {
-                    LgcKernel predictor(lgc_config(t - num_gshare),
-                                        costs);
-                    const BpredSimResult r =
-                        sweepKernel(predictor, packed_test);
-                    result.lgc.points[t - num_gshare] = {
-                        predictor.area(), r.missRate(), predictor.name()};
-                }
-            },
-            sweep_threads);
+    {
+        // One fused engine pass services every gshare and LGC sweep
+        // point (sim/nested_sweep.hh): the gshare sizes share a single
+        // nested index stream, the LGC points run as branchless side
+        // tasks, and residue-class sharding spreads the counter work
+        // across sweep_threads - serial (sweep_threads == 1) and
+        // parallel runs produce bit-identical tallies.
+        NestedSweepRequest request;
+        request.gshare.reserve(num_gshare);
+        for (size_t i = 0; i < num_gshare; ++i)
+            request.gshare.push_back(gshare_config(i));
+        request.lgc.reserve(num_lgc);
+        for (size_t i = 0; i < num_lgc; ++i)
+            request.lgc.push_back(lgc_config(i));
+        NestedSweepOptions sweep_options;
+        sweep_options.threads = sweep_threads;
+        sweep_options.shards = options.replayShards;
+        const NestedSweepResult swept =
+            nestedSweep(request, packed_test, costs, sweep_options);
+        for (size_t i = 0; i < num_gshare; ++i)
+            result.gshare.points[i] = {swept.gshare[i].area,
+                                       swept.gshare[i].result.missRate(),
+                                       swept.gshare[i].name};
+        for (size_t i = 0; i < num_lgc; ++i)
+            result.lgc.points[i] = {swept.lgc[i].area,
+                                    swept.lgc[i].result.missRate(),
+                                    swept.lgc[i].name};
     }
 
     // Custom curves: machines were trained on the Train input only. The

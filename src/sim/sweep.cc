@@ -10,15 +10,40 @@ namespace autofsm
 namespace
 {
 
+constexpr const char *kSweepPointHelp =
+    "Kernel time of one sweep point (one predictor replay, one batched "
+    "replay, or one fused nested-index pass), by engine.";
+
 obs::Histogram &
-sweepPointHistogram()
+sweepPointHistogram(SweepEngine engine)
 {
-    static obs::Histogram histogram = obs::globalMetrics().histogram(
-        "autofsm_sweep_point_millis",
-        "Kernel time of one sweep point (one predictor replay or one "
-        "batched custom-machine replay).",
-        obs::defaultLatencyBucketsMillis());
-    return histogram;
+    static obs::Histogram serial = obs::globalMetrics().histogram(
+        "autofsm_sweep_point_millis", kSweepPointHelp,
+        obs::defaultLatencyBucketsMillis(), {{"engine", "serial"}});
+    static obs::Histogram batch = obs::globalMetrics().histogram(
+        "autofsm_sweep_point_millis", kSweepPointHelp,
+        obs::defaultLatencyBucketsMillis(), {{"engine", "batch"}});
+    static obs::Histogram nested = obs::globalMetrics().histogram(
+        "autofsm_sweep_point_millis", kSweepPointHelp,
+        obs::defaultLatencyBucketsMillis(), {{"engine", "nested"}});
+    switch (engine) {
+      case SweepEngine::Batch:
+        return batch;
+      case SweepEngine::Nested:
+        return nested;
+      case SweepEngine::Serial:
+        break;
+    }
+    return serial;
+}
+
+obs::Gauge &
+sweepPointsPerPassGauge()
+{
+    static obs::Gauge gauge = obs::globalMetrics().gauge(
+        "autofsm_sweep_points_per_pass",
+        "Sweep points serviced by the most recent fused sweep pass.");
+    return gauge;
 }
 
 } // anonymous namespace
@@ -30,14 +55,22 @@ BtbKernel::publishMetrics() const
 }
 
 void
-observeSweepPointMillis(double millis)
+observeSweepPointMillis(double millis, SweepEngine engine)
 {
     if (!obs::globalMetrics().enabled())
         return;
-    sweepPointHistogram().observe(millis);
+    sweepPointHistogram(engine).observe(millis);
 }
 
-SweepPointTimer::SweepPointTimer()
+void
+observeSweepPointsPerPass(size_t points)
+{
+    if (!obs::globalMetrics().enabled())
+        return;
+    sweepPointsPerPassGauge().set(static_cast<double>(points));
+}
+
+SweepPointTimer::SweepPointTimer(SweepEngine engine) : engine_(engine)
 {
     if (obs::globalMetrics().enabled()) {
         active_ = true;
@@ -52,7 +85,8 @@ SweepPointTimer::~SweepPointTimer()
     observeSweepPointMillis(
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start_)
-            .count());
+            .count(),
+        engine_);
 }
 
 CustomReplayCounts
@@ -100,7 +134,7 @@ replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
     const uint64_t *pcs = trace.pcs().data();
     const uint64_t *words = trace.takenWords().data();
     {
-        SweepPointTimer timer;
+        SweepPointTimer timer(SweepEngine::Batch);
         for (size_t i = 0; i < n; ++i) {
             const bool taken = (words[i >> 6] >> (i & 63)) & 1ULL;
             if (i + detail::kPrefetchDistance < n)
@@ -123,7 +157,7 @@ replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
     counts.btbHits = btb.hits();
 
     {
-        SweepPointTimer timer;
+        SweepPointTimer timer(SweepEngine::Batch);
         std::vector<BitslicedMachine> sliced(k);
         for (size_t m = 0; m < k; ++m)
             sliced[m] = BitslicedMachine{machines[m].fsm, &positions[m]};
@@ -162,7 +196,7 @@ replayCustomMachines(const std::vector<CustomSweepMachine> &machines,
     const uint64_t *words = trace.takenWords().data();
     static const std::vector<uint32_t> no_positions;
     {
-        SweepPointTimer timer;
+        SweepPointTimer timer(SweepEngine::Batch);
         std::vector<BitslicedMachine> sliced(k);
         for (size_t m = 0; m < k; ++m) {
             // An absent positions list means "this machine never

@@ -510,8 +510,27 @@ inline constexpr size_t kPrefetchDistance = 16;
 
 } // namespace detail
 
+/**
+ * Which replay engine serviced a timed sweep point; becomes the
+ * `engine` label on autofsm_sweep_point_millis so the obs layer can
+ * attribute sweep time per path.
+ */
+enum class SweepEngine
+{
+    Serial, ///< one predictor per trace pass (sweepKernel)
+    Batch,  ///< one predictor kind per pass (sweepKernelBatch, replays)
+    Nested, ///< the nested-index engine (sim/nested_sweep.hh)
+};
+
 /** Record one finished sweep point in autofsm_sweep_point_millis. */
-void observeSweepPointMillis(double millis);
+void observeSweepPointMillis(double millis,
+                             SweepEngine engine = SweepEngine::Serial);
+
+/**
+ * Record in the autofsm_sweep_points_per_pass gauge how many sweep
+ * points the most recent fused pass serviced (1 for a serial replay).
+ */
+void observeSweepPointsPerPass(size_t points);
 
 /**
  * RAII timer feeding the per-sweep-point kernel-time histogram. Inert
@@ -520,7 +539,7 @@ void observeSweepPointMillis(double millis);
 class SweepPointTimer
 {
   public:
-    SweepPointTimer();
+    explicit SweepPointTimer(SweepEngine engine = SweepEngine::Serial);
     ~SweepPointTimer();
 
     SweepPointTimer(const SweepPointTimer &) = delete;
@@ -528,6 +547,7 @@ class SweepPointTimer
 
   private:
     std::chrono::steady_clock::time_point start_;
+    SweepEngine engine_ = SweepEngine::Serial;
     bool active_ = false;
 };
 
@@ -619,6 +639,7 @@ sweepKernelBatch(std::vector<P> &predictors, const PackedTrace &trace)
     }
     for (size_t j = 0; j < k; ++j)
         publishBpredRun(predictors[j].name(), results[j]);
+    observeSweepPointsPerPass(k);
     return results;
 }
 
